@@ -1,0 +1,46 @@
+//! Criterion benches: transpilation time of Qiskit+SABRE vs Qiskit+NASSC
+//! (the `transpile time` columns of Tables I/III/IV) on representative
+//! benchmarks and topologies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nassc::{transpile, TranspileOptions};
+use nassc_benchmarks::circuits;
+use nassc_topology::CouplingMap;
+
+fn routing_benchmarks(c: &mut Criterion) {
+    let montreal = CouplingMap::ibmq_montreal();
+    let line = CouplingMap::linear(25);
+    let cases = vec![
+        ("grover_n4", circuits::grover(4)),
+        ("vqe_n8", circuits::vqe(8, 3, 1)),
+        ("qft_n15", circuits::qft(15)),
+        ("adder_n10", circuits::adder(10)),
+    ];
+
+    let mut group = c.benchmark_group("transpile_montreal");
+    group.sample_size(10);
+    for (name, circuit) in &cases {
+        group.bench_with_input(BenchmarkId::new("sabre", name), circuit, |b, qc| {
+            b.iter(|| transpile(qc, &montreal, &TranspileOptions::sabre(1)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("nassc", name), circuit, |b, qc| {
+            b.iter(|| transpile(qc, &montreal, &TranspileOptions::nassc(1)).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("transpile_linear25");
+    group.sample_size(10);
+    for (name, circuit) in cases.iter().take(2) {
+        group.bench_with_input(BenchmarkId::new("sabre", name), circuit, |b, qc| {
+            b.iter(|| transpile(qc, &line, &TranspileOptions::sabre(1)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("nassc", name), circuit, |b, qc| {
+            b.iter(|| transpile(qc, &line, &TranspileOptions::nassc(1)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, routing_benchmarks);
+criterion_main!(benches);

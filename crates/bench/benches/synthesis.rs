@@ -1,0 +1,21 @@
+//! Criterion benches for the synthesis substrate: Weyl decomposition and
+//! two-qubit re-synthesis throughput (the per-SWAP-candidate cost that keeps
+//! NASSC's routing complexity at SABRE's level, §IV-H).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nassc_math::Matrix4;
+use nassc_synthesis::{synthesize_two_qubit, two_qubit_cnot_cost, WeylDecomposition};
+
+fn synthesis_benchmarks(c: &mut Criterion) {
+    let swap_cx = Matrix4::swap().mul(&Matrix4::cnot());
+    c.bench_function("weyl_decompose_swap_cx", |b| {
+        b.iter(|| WeylDecomposition::new(&swap_cx).unwrap())
+    });
+    c.bench_function("cnot_cost_swap_cx", |b| b.iter(|| two_qubit_cnot_cost(&swap_cx).unwrap()));
+    c.bench_function("synthesize_swap_cx", |b| {
+        b.iter(|| synthesize_two_qubit(&swap_cx, 0, 1).unwrap())
+    });
+}
+
+criterion_group!(benches, synthesis_benchmarks);
+criterion_main!(benches);

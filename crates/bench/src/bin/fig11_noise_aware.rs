@@ -1,0 +1,45 @@
+//! Figure 11: additional CNOTs and success rates of SABRE, NASSC and their
+//! noise-aware (+HA) variants under the `ibmq_montreal` noise model.
+
+use nassc::{optimize_without_routing, transpile, TranspileOptions};
+use nassc_sim::{success_rate, NoiseModel};
+use nassc_topology::{Calibration, CouplingMap};
+
+fn main() {
+    let shots: usize = std::env::args()
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--shots")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(8192);
+    let device = CouplingMap::ibmq_montreal();
+    let calibration = Calibration::synthetic(&device, 2022);
+    let noise = NoiseModel::from_calibration(&device, calibration.clone());
+
+    println!("== Figure 11 — noise-aware routing on ibmq_montreal (shots = {shots}) ==");
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>10} | {:>8} {:>8} {:>8} {:>8}",
+        "benchmark", "SABRE+cx", "NASSC+cx", "S+HA+cx", "N+HA+cx", "S rate", "N rate", "S+HA", "N+HA"
+    );
+    for bench in nassc_benchmarks::noise_benchmarks() {
+        eprintln!("routing and simulating {}...", bench.name);
+        let baseline = optimize_without_routing(&bench.circuit).expect("baseline").cx_count();
+        let variants = [
+            TranspileOptions::sabre(11),
+            TranspileOptions::nassc(11),
+            TranspileOptions::sabre(11).with_calibration(calibration.clone()),
+            TranspileOptions::nassc(11).with_calibration(calibration.clone()),
+        ];
+        let mut added = Vec::new();
+        let mut rates = Vec::new();
+        for options in &variants {
+            let result = transpile(&bench.circuit, &device, options).expect("transpile");
+            added.push(result.cx_count().saturating_sub(baseline));
+            rates.push(success_rate(&result.circuit, &noise, shots, 97));
+        }
+        println!(
+            "{:<16} {:>10} {:>10} {:>10} {:>10} | {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            bench.name, added[0], added[1], added[2], added[3], rates[0], rates[1], rates[2], rates[3]
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Figure 9: CNOT reduction of the best of the 8 optimization-flag
+//! combinations versus enabling all three, on each coupling map.
+
+use nassc::{transpile, OptimizationFlags, TranspileOptions};
+use nassc_bench::{relative_reduction, HarnessArgs};
+use nassc_topology::CouplingMap;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let maps: Vec<(&str, CouplingMap)> = vec![
+        ("ibmq_montreal", CouplingMap::ibmq_montreal()),
+        ("linear-25", CouplingMap::linear(25)),
+        ("grid-5x5", CouplingMap::grid(5, 5)),
+    ];
+    for (map_name, device) in maps {
+        println!("\n== Figure 9 — {map_name} ==");
+        println!("{:<22} {:>12} {:>12} {:>14}", "benchmark", "best-of-8", "all-enabled", "best flags");
+        for bench in args.suite() {
+            eprintln!("[{map_name}] sweeping {}...", bench.name);
+            let sabre_cx: f64 = (0..args.runs)
+                .map(|r| {
+                    transpile(&bench.circuit, &device, &TranspileOptions::sabre(2000 + r as u64))
+                        .expect("sabre")
+                        .cx_count() as f64
+                })
+                .sum::<f64>()
+                / args.runs as f64;
+            let mut best = (f64::MAX, String::new());
+            let mut all_enabled = 0.0;
+            for flags in OptimizationFlags::all_combinations() {
+                let cx: f64 = (0..args.runs)
+                    .map(|r| {
+                        let options = TranspileOptions::nassc_with_flags(2000 + r as u64, flags);
+                        transpile(&bench.circuit, &device, &options).expect("nassc").cx_count() as f64
+                    })
+                    .sum::<f64>()
+                    / args.runs as f64;
+                if cx < best.0 {
+                    best = (cx, flags.label());
+                }
+                if flags == OptimizationFlags::all() {
+                    all_enabled = cx;
+                }
+            }
+            println!(
+                "{:<22} {:>11.2}% {:>11.2}% {:>14}",
+                bench.name,
+                100.0 * relative_reduction(best.0, sabre_cx),
+                100.0 * relative_reduction(all_enabled, sabre_cx),
+                best.1
+            );
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Table II: circuit depth of NASSC vs Qiskit+SABRE on `ibmq_montreal`.
+
+use nassc_bench::{compare_benchmark, print_depth_table, HarnessArgs};
+use nassc_topology::CouplingMap;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let device = CouplingMap::ibmq_montreal();
+    let rows: Vec<_> = args
+        .suite()
+        .iter()
+        .map(|b| {
+            eprintln!("transpiling {} ({} qubits)...", b.name, b.qubits);
+            compare_benchmark(b, &device, args.runs)
+        })
+        .collect();
+    print_depth_table("Table II — circuit depth on ibmq_montreal", &rows);
+}

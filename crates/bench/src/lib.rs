@@ -1,0 +1,276 @@
+//! Benchmark harness regenerating the paper's tables and figures.
+//!
+//! Each binary in `src/bin/` reproduces one table or figure:
+//!
+//! | Binary | Paper artefact |
+//! |---|---|
+//! | `table1_cnot_montreal` | Table I — additional CNOTs on `ibmq_montreal` |
+//! | `table2_depth_montreal` | Table II — circuit depth on `ibmq_montreal` |
+//! | `table3_cnot_linear` | Table III — additional CNOTs on the 25-qubit line |
+//! | `table4_cnot_grid` | Table IV — additional CNOTs on the 5×5 grid |
+//! | `fig9_opt_combinations` | Figure 9 — best-of-8 flag combinations vs all-enabled |
+//! | `fig11_noise_aware` | Figure 11 — noise-aware routing and success rates |
+//!
+//! Binaries run the reduced `quick` suite by default; pass `--full` for the
+//! complete 15-benchmark suite of the paper and `--runs N` to average over
+//! `N` seeds (the paper uses 10).
+
+use nassc::{optimize_without_routing, transpile, TranspileOptions};
+use nassc_benchmarks::Benchmark;
+use nassc_topology::CouplingMap;
+
+/// Averaged metrics for one benchmark under one router.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RouterMetrics {
+    /// Mean CNOT count of the final circuit.
+    pub cx_total: f64,
+    /// Mean circuit depth of the final circuit.
+    pub depth_total: f64,
+    /// Mean transpile wall-clock time in seconds.
+    pub time_s: f64,
+}
+
+/// One row of a comparison table.
+#[derive(Debug, Clone)]
+pub struct ComparisonRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Qubit count of the benchmark.
+    pub qubits: usize,
+    /// CNOTs of the original circuit after optimization only.
+    pub original_cx: usize,
+    /// Depth of the original circuit after optimization only.
+    pub original_depth: usize,
+    /// Metrics for Qiskit+SABRE.
+    pub sabre: RouterMetrics,
+    /// Metrics for Qiskit+NASSC.
+    pub nassc: RouterMetrics,
+}
+
+impl ComparisonRow {
+    /// Additional CNOTs over the unrouted baseline, per router.
+    pub fn additional_cx(&self) -> (f64, f64) {
+        (
+            (self.sabre.cx_total - self.original_cx as f64).max(0.0),
+            (self.nassc.cx_total - self.original_cx as f64).max(0.0),
+        )
+    }
+
+    /// Additional depth over the unrouted baseline, per router.
+    pub fn additional_depth(&self) -> (f64, f64) {
+        (
+            (self.sabre.depth_total - self.original_depth as f64).max(0.0),
+            (self.nassc.depth_total - self.original_depth as f64).max(0.0),
+        )
+    }
+
+    /// `ΔCNOT_total`: relative reduction of total CNOTs (NASSC vs SABRE).
+    pub fn delta_cx_total(&self) -> f64 {
+        relative_reduction(self.nassc.cx_total, self.sabre.cx_total)
+    }
+
+    /// `ΔCNOT_add`: relative reduction of additional CNOTs.
+    pub fn delta_cx_add(&self) -> f64 {
+        let (sabre_add, nassc_add) = self.additional_cx();
+        relative_reduction(nassc_add, sabre_add)
+    }
+
+    /// `Δdepth_total`: relative reduction of total depth.
+    pub fn delta_depth_total(&self) -> f64 {
+        relative_reduction(self.nassc.depth_total, self.sabre.depth_total)
+    }
+
+    /// `Δdepth_add`: relative reduction of additional depth.
+    pub fn delta_depth_add(&self) -> f64 {
+        let (sabre_add, nassc_add) = self.additional_depth();
+        relative_reduction(nassc_add, sabre_add)
+    }
+
+    /// Transpile-time ratio `t_NASSC / t_SABRE`.
+    pub fn time_ratio(&self) -> f64 {
+        if self.sabre.time_s <= 0.0 {
+            1.0
+        } else {
+            self.nassc.time_s / self.sabre.time_s
+        }
+    }
+}
+
+/// `1 - new/old`, guarded against division by zero.
+pub fn relative_reduction(new: f64, old: f64) -> f64 {
+    if old <= 0.0 {
+        0.0
+    } else {
+        1.0 - new / old
+    }
+}
+
+/// Geometric mean of reductions, matching the paper's averaging of Δ columns.
+pub fn geometric_mean_reduction(reductions: &[f64]) -> f64 {
+    if reductions.is_empty() {
+        return 0.0;
+    }
+    let product: f64 = reductions.iter().map(|r| (1.0 - r).max(1e-9)).product();
+    1.0 - product.powf(1.0 / reductions.len() as f64)
+}
+
+/// Runs SABRE and NASSC on one benchmark, averaging over `runs` seeds.
+pub fn compare_benchmark(benchmark: &Benchmark, coupling: &CouplingMap, runs: usize) -> ComparisonRow {
+    let original = optimize_without_routing(&benchmark.circuit).expect("baseline optimization");
+    let mut sabre = RouterMetrics::default();
+    let mut nassc = RouterMetrics::default();
+    for run in 0..runs {
+        let seed = 1000 + run as u64;
+        let s = transpile(&benchmark.circuit, coupling, &TranspileOptions::sabre(seed))
+            .expect("sabre transpile");
+        let n = transpile(&benchmark.circuit, coupling, &TranspileOptions::nassc(seed))
+            .expect("nassc transpile");
+        sabre.cx_total += s.cx_count() as f64;
+        sabre.depth_total += s.depth() as f64;
+        sabre.time_s += s.elapsed.as_secs_f64();
+        nassc.cx_total += n.cx_count() as f64;
+        nassc.depth_total += n.depth() as f64;
+        nassc.time_s += n.elapsed.as_secs_f64();
+    }
+    let scale = runs.max(1) as f64;
+    for m in [&mut sabre, &mut nassc] {
+        m.cx_total /= scale;
+        m.depth_total /= scale;
+        m.time_s /= scale;
+    }
+    ComparisonRow {
+        name: benchmark.name.to_string(),
+        qubits: benchmark.qubits,
+        original_cx: original.cx_count(),
+        original_depth: original.depth(),
+        sabre,
+        nassc,
+    }
+}
+
+/// Command-line options shared by the table binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessArgs {
+    /// Run the complete 15-benchmark suite instead of the quick subset.
+    pub full: bool,
+    /// Number of seeds to average over.
+    pub runs: usize,
+}
+
+impl HarnessArgs {
+    /// Parses `--full` and `--runs N` from the process arguments.
+    pub fn from_env() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let full = args.iter().any(|a| a == "--full");
+        let runs = args
+            .iter()
+            .position(|a| a == "--runs")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2);
+        Self { full, runs }
+    }
+
+    /// The benchmark suite selected by the arguments.
+    pub fn suite(&self) -> Vec<Benchmark> {
+        if self.full {
+            nassc_benchmarks::table_benchmarks()
+        } else {
+            nassc_benchmarks::quick_benchmarks()
+        }
+    }
+}
+
+/// Prints a CNOT-comparison table (Tables I / III / IV).
+pub fn print_cnot_table(title: &str, rows: &[ComparisonRow]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<22} {:>3}  {:>9} | {:>10} {:>10} {:>8} | {:>10} {:>10} {:>8} | {:>8} {:>8} {:>6}",
+        "benchmark", "n", "CX_orig", "SABRE_tot", "SABRE_add", "t_S(s)", "NASSC_tot", "NASSC_add", "t_N(s)",
+        "dCX_tot", "dCX_add", "t_N/t_S"
+    );
+    for row in rows {
+        let (sabre_add, nassc_add) = row.additional_cx();
+        println!(
+            "{:<22} {:>3}  {:>9} | {:>10.1} {:>10.1} {:>8.2} | {:>10.1} {:>10.1} {:>8.2} | {:>7.2}% {:>7.2}% {:>6.2}",
+            row.name,
+            row.qubits,
+            row.original_cx,
+            row.sabre.cx_total,
+            sabre_add,
+            row.sabre.time_s,
+            row.nassc.cx_total,
+            nassc_add,
+            row.nassc.time_s,
+            100.0 * row.delta_cx_total(),
+            100.0 * row.delta_cx_add(),
+            row.time_ratio(),
+        );
+    }
+    let d_tot: Vec<f64> = rows.iter().map(|r| r.delta_cx_total()).collect();
+    let d_add: Vec<f64> = rows.iter().map(|r| r.delta_cx_add()).collect();
+    println!(
+        "geometric mean: dCX_total {:.2}%  dCX_add {:.2}%",
+        100.0 * geometric_mean_reduction(&d_tot),
+        100.0 * geometric_mean_reduction(&d_add)
+    );
+}
+
+/// Prints a depth-comparison table (Table II).
+pub fn print_depth_table(title: &str, rows: &[ComparisonRow]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<22} {:>3}  {:>10} | {:>11} {:>11} | {:>11} {:>11} | {:>9} {:>9}",
+        "benchmark", "n", "depth_orig", "SABRE_tot", "SABRE_add", "NASSC_tot", "NASSC_add", "dD_tot", "dD_add"
+    );
+    for row in rows {
+        let (sabre_add, nassc_add) = row.additional_depth();
+        println!(
+            "{:<22} {:>3}  {:>10} | {:>11.1} {:>11.1} | {:>11.1} {:>11.1} | {:>8.2}% {:>8.2}%",
+            row.name,
+            row.qubits,
+            row.original_depth,
+            row.sabre.depth_total,
+            sabre_add,
+            row.nassc.depth_total,
+            nassc_add,
+            100.0 * row.delta_depth_total(),
+            100.0 * row.delta_depth_add(),
+        );
+    }
+    let d_tot: Vec<f64> = rows.iter().map(|r| r.delta_depth_total()).collect();
+    let d_add: Vec<f64> = rows.iter().map(|r| r.delta_depth_add()).collect();
+    println!(
+        "geometric mean: ddepth_total {:.2}%  ddepth_add {:.2}%",
+        100.0 * geometric_mean_reduction(&d_tot),
+        100.0 * geometric_mean_reduction(&d_add)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nassc_benchmarks::quick_benchmarks;
+
+    #[test]
+    fn relative_reduction_basic_cases() {
+        assert!((relative_reduction(80.0, 100.0) - 0.2).abs() < 1e-12);
+        assert_eq!(relative_reduction(5.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_of_equal_reductions_is_that_reduction() {
+        let g = geometric_mean_reduction(&[0.25, 0.25, 0.25]);
+        assert!((g - 0.25).abs() < 1e-9);
+        assert_eq!(geometric_mean_reduction(&[]), 0.0);
+    }
+
+    #[test]
+    fn comparison_row_on_small_benchmark() {
+        let device = CouplingMap::linear(25);
+        let bench = &quick_benchmarks()[0]; // Grover_4-qubits
+        let row = compare_benchmark(bench, &device, 1);
+        assert!(row.original_cx > 0);
+        assert!(row.sabre.cx_total >= row.original_cx as f64);
+    }
+}

@@ -1,0 +1,27 @@
+//! Benchmark circuit generators for the NASSC evaluation.
+//!
+//! Provides the fifteen workloads of Tables I–IV (Grover, VQE, BV, QFT, QPE,
+//! adder, multiplier and RevLib-style reversible netlists) plus the five
+//! small circuits of the Figure 11 noise experiment, exposed both as plain
+//! generator functions ([`circuits`]) and as named suites ([`suite`]).
+//!
+//! # Example
+//!
+//! ```
+//! use nassc_benchmarks::circuits::vqe;
+//!
+//! // The 8-qubit full-entanglement VQE ansatz has exactly the 84 CNOTs the
+//! // paper reports for its original circuit.
+//! assert_eq!(vqe(8, 3, 1).cx_count(), 84);
+//! ```
+
+pub mod circuits;
+pub mod mcx;
+pub mod suite;
+
+pub use circuits::{
+    adder, bernstein_vazirani, decoder_2to4, grover, mod5_circuit, multiplier, qft, qpe,
+    reversible_netlist, vqe,
+};
+pub use mcx::{mcx, mcz};
+pub use suite::{noise_benchmarks, quick_benchmarks, table_benchmarks, Benchmark};

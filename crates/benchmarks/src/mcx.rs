@@ -1,0 +1,148 @@
+//! Multi-controlled X (Toffoli generalisation) construction.
+//!
+//! The Grover and reversible-logic benchmarks are built from
+//! multi-controlled Toffoli gates. The decomposition here follows the
+//! classic Barenco et al. split using one *dirty* borrowed qubit, which
+//! keeps the CNOT count roughly linear in the number of controls.
+
+use nassc_circuit::QuantumCircuit;
+
+/// Appends a multi-controlled X with the given control qubits onto `target`.
+///
+/// `borrows` are qubits that may be used as *dirty* ancillas (their state is
+/// restored); at least one borrow is required once there are three or more
+/// controls.
+///
+/// # Panics
+///
+/// Panics when `controls`, `target` and `borrows` overlap, or when three or
+/// more controls are requested without any borrowable qubit.
+pub fn mcx(circuit: &mut QuantumCircuit, controls: &[usize], target: usize, borrows: &[usize]) {
+    for &c in controls {
+        assert_ne!(c, target, "control {c} equals the target");
+        assert!(!borrows.contains(&c), "qubit {c} is both a control and a borrow");
+    }
+    assert!(!borrows.contains(&target), "the target cannot be a borrow");
+
+    match controls.len() {
+        0 => {
+            circuit.x(target);
+        }
+        1 => {
+            circuit.cx(controls[0], target);
+        }
+        2 => {
+            circuit.ccx(controls[0], controls[1], target);
+        }
+        _ => {
+            let borrow = *borrows
+                .first()
+                .expect("an MCX with three or more controls needs a borrowable qubit");
+            // Barenco split: C^k X = A · B · A · B with
+            //   A = C^m X(first half -> borrow), using the second half + target as borrows,
+            //   B = C^{k-m+1} X(second half + borrow -> target), using the first half as borrows.
+            let m = controls.len().div_ceil(2);
+            let (first, second) = controls.split_at(m);
+            let mut second_plus_borrow: Vec<usize> = second.to_vec();
+            second_plus_borrow.push(borrow);
+            let borrows_for_a: Vec<usize> = second.iter().copied().chain([target]).collect();
+            let borrows_for_b: Vec<usize> = first.to_vec();
+
+            mcx(circuit, first, borrow, &borrows_for_a);
+            mcx(circuit, &second_plus_borrow, target, &borrows_for_b);
+            mcx(circuit, first, borrow, &borrows_for_a);
+            mcx(circuit, &second_plus_borrow, target, &borrows_for_b);
+        }
+    }
+}
+
+/// Appends a multi-controlled Z on the given qubits (symmetric in all of
+/// them), using `borrows` as dirty ancillas for large gates.
+pub fn mcz(circuit: &mut QuantumCircuit, qubits: &[usize], borrows: &[usize]) {
+    assert!(!qubits.is_empty(), "mcz needs at least one qubit");
+    if qubits.len() == 1 {
+        circuit.z(qubits[0]);
+        return;
+    }
+    if qubits.len() == 2 {
+        circuit.cz(qubits[0], qubits[1]);
+        return;
+    }
+    let (&target, controls) = qubits.split_last().expect("non-empty");
+    circuit.h(target);
+    mcx(circuit, controls, target, borrows);
+    circuit.h(target);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nassc_circuit::{circuit_unitary, QuantumCircuit};
+    use nassc_math::C64;
+
+    /// Brute-force check: the circuit permutes basis states like an MCX.
+    fn assert_is_mcx(circuit: &QuantumCircuit, controls: &[usize], target: usize) {
+        let u = circuit_unitary(circuit);
+        let dim = u.dim();
+        for col in 0..dim {
+            let all_controls_set = controls.iter().all(|&c| (col >> c) & 1 == 1);
+            let expected_row = if all_controls_set { col ^ (1 << target) } else { col };
+            assert!(
+                u.get(expected_row, col).abs() > 0.999,
+                "column {col} does not map to {expected_row}"
+            );
+            // Phase must be +1 (an MCX is a plain permutation).
+            assert!(u.get(expected_row, col).approx_eq(C64::one(), 1e-6));
+        }
+    }
+
+    #[test]
+    fn mcx_with_three_controls_and_dirty_borrow() {
+        let mut qc = QuantumCircuit::new(5);
+        mcx(&mut qc, &[0, 1, 2], 3, &[4]);
+        assert_is_mcx(&qc, &[0, 1, 2], 3);
+    }
+
+    #[test]
+    fn mcx_with_four_controls() {
+        let mut qc = QuantumCircuit::new(6);
+        mcx(&mut qc, &[0, 1, 2, 3], 4, &[5]);
+        assert_is_mcx(&qc, &[0, 1, 2, 3], 4);
+    }
+
+    #[test]
+    fn mcx_with_five_controls() {
+        let mut qc = QuantumCircuit::new(7);
+        mcx(&mut qc, &[0, 1, 2, 3, 4], 5, &[6]);
+        assert_is_mcx(&qc, &[0, 1, 2, 3, 4], 5);
+    }
+
+    #[test]
+    fn small_cases_use_direct_gates() {
+        let mut qc = QuantumCircuit::new(3);
+        mcx(&mut qc, &[0, 1], 2, &[]);
+        assert_eq!(qc.count_ops()["ccx"], 1);
+        let mut qc1 = QuantumCircuit::new(2);
+        mcx(&mut qc1, &[0], 1, &[]);
+        assert_eq!(qc1.cx_count(), 1);
+    }
+
+    #[test]
+    fn mcz_is_symmetric_phase_flip() {
+        let mut qc = QuantumCircuit::new(4);
+        mcz(&mut qc, &[0, 1, 2], &[3]);
+        let u = circuit_unitary(&qc);
+        for col in 0..u.dim() {
+            let all_ones = (col & 0b111) == 0b111;
+            let expected = if all_ones { C64::real(-1.0) } else { C64::one() };
+            assert!(u.get(col, col).approx_eq(expected, 1e-6), "diag at {col}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a borrowable qubit")]
+    fn large_mcx_without_borrow_panics() {
+        let mut qc = QuantumCircuit::new(4);
+        mcx(&mut qc, &[0, 1, 2], 3, &[]);
+    }
+}

@@ -1,0 +1,98 @@
+//! The named benchmark suites used by the evaluation harness.
+
+use nassc_circuit::QuantumCircuit;
+
+use crate::circuits;
+
+/// A named benchmark circuit.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// The name as it appears in the paper's tables.
+    pub name: &'static str,
+    /// Number of qubits.
+    pub qubits: usize,
+    /// The generated logical circuit.
+    pub circuit: QuantumCircuit,
+}
+
+impl Benchmark {
+    fn new(name: &'static str, circuit: QuantumCircuit) -> Self {
+        Self { name, qubits: circuit.num_qubits(), circuit }
+    }
+}
+
+/// The fifteen benchmarks of Tables I–IV.
+///
+/// The last four are seeded synthetic stand-ins for the RevLib circuits (see
+/// DESIGN.md §2); their target CNOT totals match the paper's "original
+/// circuit" column to within the granularity of whole Toffoli gates.
+pub fn table_benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark::new("Grover_4-qubits", circuits::grover(4)),
+        Benchmark::new("Grover_6-qubits", circuits::grover(6)),
+        Benchmark::new("Grover_8-qubits", circuits::grover(8)),
+        Benchmark::new("VQE_8-qubits", circuits::vqe(8, 3, 1)),
+        Benchmark::new("VQE_12-qubits", circuits::vqe(12, 3, 1)),
+        Benchmark::new("BV_19-qubits", circuits::bernstein_vazirani(19)),
+        Benchmark::new("QFT_15-qubits", circuits::qft(15)),
+        Benchmark::new("QFT_20-qubits", circuits::qft(20)),
+        Benchmark::new("QPE_9-qubits", circuits::qpe(9)),
+        Benchmark::new("Adder_10-qubits", circuits::adder(10)),
+        Benchmark::new("Multiplier_25-qubits", circuits::multiplier(25)),
+        Benchmark::new("sqn_258", circuits::reversible_netlist(10, 4459, 258)),
+        Benchmark::new("rd84_253", circuits::reversible_netlist(12, 5960, 253)),
+        Benchmark::new("co14_215", circuits::reversible_netlist(15, 7840, 215)),
+        Benchmark::new("sym9_193", circuits::reversible_netlist(11, 15232, 193)),
+    ]
+}
+
+/// A reduced suite (the small and mid-size benchmarks) for quick runs and CI.
+pub fn quick_benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark::new("Grover_4-qubits", circuits::grover(4)),
+        Benchmark::new("Grover_6-qubits", circuits::grover(6)),
+        Benchmark::new("VQE_8-qubits", circuits::vqe(8, 3, 1)),
+        Benchmark::new("BV_19-qubits", circuits::bernstein_vazirani(19)),
+        Benchmark::new("QFT_15-qubits", circuits::qft(15)),
+        Benchmark::new("QPE_9-qubits", circuits::qpe(9)),
+        Benchmark::new("Adder_10-qubits", circuits::adder(10)),
+    ]
+}
+
+/// The five small circuits of the Figure 11 noise-model experiment.
+pub fn noise_benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark::new("bv_n5", circuits::bernstein_vazirani(5)),
+        Benchmark::new("mod5mils_65", circuits::mod5_circuit(65)),
+        Benchmark::new("decod24-v2_43", circuits::decoder_2to4()),
+        Benchmark::new("mod5d2_64", circuits::mod5_circuit(64)),
+        Benchmark::new("grover_n4", circuits::grover(4)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_suite_matches_paper_names_and_widths() {
+        let suite = table_benchmarks();
+        assert_eq!(suite.len(), 15);
+        let widths: Vec<usize> = suite.iter().map(|b| b.qubits).collect();
+        assert_eq!(widths, vec![4, 6, 8, 8, 12, 19, 15, 20, 9, 10, 25, 10, 12, 15, 11]);
+    }
+
+    #[test]
+    fn noise_suite_has_five_small_circuits() {
+        let suite = noise_benchmarks();
+        assert_eq!(suite.len(), 5);
+        assert!(suite.iter().all(|b| b.qubits <= 5));
+    }
+
+    #[test]
+    fn quick_suite_is_a_subset_scale() {
+        let quick = quick_benchmarks();
+        assert!(quick.len() < table_benchmarks().len());
+        assert!(quick.iter().all(|b| b.circuit.num_gates() > 0));
+    }
+}

@@ -1,0 +1,192 @@
+//! A gate applied to specific qubits.
+
+use crate::gate::Gate;
+
+/// One operation of a circuit: a [`Gate`] together with the qubit indices it
+/// acts on.
+///
+/// Qubit order is significant: for controlled gates the control(s) come
+/// first, and the first listed qubit is the least-significant bit of the
+/// gate's matrix basis.
+///
+/// # Example
+///
+/// ```
+/// use nassc_circuit::{Gate, Instruction};
+///
+/// let cx = Instruction::new(Gate::Cx, vec![0, 3]);
+/// assert_eq!(cx.control(), Some(0));
+/// assert_eq!(cx.target(), Some(3));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instruction {
+    /// The gate being applied.
+    pub gate: Gate,
+    /// The qubits the gate acts on, in gate-specific order.
+    pub qubits: Vec<usize>,
+}
+
+impl Instruction {
+    /// Creates a new instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the number of qubits does not match the gate's arity or
+    /// when a qubit index is repeated.
+    pub fn new(gate: Gate, qubits: Vec<usize>) -> Self {
+        assert_eq!(
+            gate.num_qubits(),
+            qubits.len(),
+            "gate {} expects {} qubits, got {:?}",
+            gate.name(),
+            gate.num_qubits(),
+            qubits
+        );
+        for (i, a) in qubits.iter().enumerate() {
+            for b in qubits.iter().skip(i + 1) {
+                assert_ne!(a, b, "duplicate qubit {a} in {} instruction", gate.name());
+            }
+        }
+        Self { gate, qubits }
+    }
+
+    /// The number of qubits the instruction touches.
+    pub fn num_qubits(&self) -> usize {
+        self.qubits.len()
+    }
+
+    /// Returns `true` for two-qubit unitary instructions (the ones routing
+    /// cares about).
+    pub fn is_two_qubit(&self) -> bool {
+        self.gate.is_two_qubit()
+    }
+
+    /// Returns `true` when the instruction acts on the given qubit.
+    pub fn acts_on(&self, qubit: usize) -> bool {
+        self.qubits.contains(&qubit)
+    }
+
+    /// Returns `true` when the two instructions share at least one qubit.
+    pub fn overlaps(&self, other: &Instruction) -> bool {
+        self.qubits.iter().any(|q| other.qubits.contains(q))
+    }
+
+    /// The control qubit for controlled two-qubit gates (`cx`, `cz`, …).
+    pub fn control(&self) -> Option<usize> {
+        match self.gate {
+            Gate::Cx
+            | Gate::Cy
+            | Gate::Cz
+            | Gate::Ch
+            | Gate::Crx(_)
+            | Gate::Cry(_)
+            | Gate::Crz(_)
+            | Gate::Cp(_) => Some(self.qubits[0]),
+            _ => None,
+        }
+    }
+
+    /// The target qubit for controlled two-qubit gates.
+    pub fn target(&self) -> Option<usize> {
+        match self.gate {
+            Gate::Cx
+            | Gate::Cy
+            | Gate::Cz
+            | Gate::Ch
+            | Gate::Crx(_)
+            | Gate::Cry(_)
+            | Gate::Crz(_)
+            | Gate::Cp(_) => Some(self.qubits[1]),
+            _ => None,
+        }
+    }
+
+    /// Produces the instruction with every qubit remapped through `f`.
+    pub fn map_qubits(&self, f: impl Fn(usize) -> usize) -> Instruction {
+        Instruction {
+            gate: self.gate.clone(),
+            qubits: self.qubits.iter().map(|&q| f(q)).collect(),
+        }
+    }
+
+    /// The inverse instruction (same qubits, inverse gate).
+    ///
+    /// # Panics
+    ///
+    /// Panics for `Measure`.
+    pub fn inverse(&self) -> Instruction {
+        Instruction {
+            gate: self.gate.inverse(),
+            qubits: self.qubits.clone(),
+        }
+    }
+}
+
+impl std::fmt::Display for Instruction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let params = self.gate.params();
+        if params.is_empty() {
+            write!(f, "{} {:?}", self.gate.name(), self.qubits)
+        } else {
+            let p: Vec<String> = params.iter().map(|x| format!("{x:.4}")).collect();
+            write!(f, "{}({}) {:?}", self.gate.name(), p.join(","), self.qubits)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_target_extraction() {
+        let cx = Instruction::new(Gate::Cx, vec![2, 5]);
+        assert_eq!(cx.control(), Some(2));
+        assert_eq!(cx.target(), Some(5));
+        let sw = Instruction::new(Gate::Swap, vec![1, 3]);
+        assert_eq!(sw.control(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 qubits")]
+    fn arity_mismatch_panics() {
+        let _ = Instruction::new(Gate::Cx, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate qubit")]
+    fn duplicate_qubit_panics() {
+        let _ = Instruction::new(Gate::Cx, vec![1, 1]);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Instruction::new(Gate::Cx, vec![0, 1]);
+        let b = Instruction::new(Gate::Cx, vec![1, 2]);
+        let c = Instruction::new(Gate::H, vec![3]);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn qubit_remapping() {
+        let cx = Instruction::new(Gate::Cx, vec![0, 1]);
+        let mapped = cx.map_qubits(|q| q + 10);
+        assert_eq!(mapped.qubits, vec![10, 11]);
+        assert_eq!(mapped.gate, Gate::Cx);
+    }
+
+    #[test]
+    fn inverse_preserves_qubits() {
+        let inst = Instruction::new(Gate::S, vec![4]);
+        let inv = inst.inverse();
+        assert_eq!(inv.gate, Gate::Sdg);
+        assert_eq!(inv.qubits, vec![4]);
+    }
+
+    #[test]
+    fn display_includes_params() {
+        let r = Instruction::new(Gate::Rz(0.5), vec![2]);
+        assert!(format!("{r}").starts_with("rz(0.5000)"));
+    }
+}

@@ -1,0 +1,46 @@
+//! NASSC — *Not All SWAPs have the Same Cost* — optimization-aware qubit
+//! routing (HPCA 2022), reproduced in Rust.
+//!
+//! State-of-the-art routers such as SABRE pick SWAPs by minimising a distance
+//! heuristic, implicitly assuming every SWAP costs three CNOTs. NASSC's
+//! observation is that the *subsequent* optimization passes — two-qubit block
+//! re-synthesis and commutation-based gate cancellation — remove many of
+//! those CNOTs, and that the routing decision should anticipate it. This
+//! crate provides:
+//!
+//! * [`OptimizationFlags`] and the `C_2q`/`C_commute1`/`C_commute2` reduction
+//!   terms of the cost function (Eq. 1–2),
+//! * [`NasscPolicy`] — the optimization-aware SWAP scorer plugged into the
+//!   SABRE traversal engine, with optimization-aware SWAP decomposition and
+//!   single-qubit movement through SWAPs (§IV-E),
+//! * [`transpile`] / [`TranspileOptions`] — the full `Qiskit+SABRE` and
+//!   `Qiskit+NASSC` pipelines evaluated in the paper, including the
+//!   noise-aware `+HA` variants (Eq. 3).
+//!
+//! # Example
+//!
+//! ```
+//! use nassc::{transpile, TranspileOptions};
+//! use nassc_circuit::QuantumCircuit;
+//! use nassc_topology::CouplingMap;
+//!
+//! // The paper's Figure 1: three CNOTs on a 3-qubit line.
+//! let mut qc = QuantumCircuit::new(3);
+//! qc.cx(1, 2).cx(0, 1).cx(0, 2);
+//! let device = CouplingMap::linear(3);
+//!
+//! let sabre = transpile(&qc, &device, &TranspileOptions::sabre(7)).unwrap();
+//! let nassc = transpile(&qc, &device, &TranspileOptions::nassc(7)).unwrap();
+//! assert!(nassc.cx_count() <= sabre.cx_count());
+//! ```
+
+pub mod cost;
+pub mod pipeline;
+pub mod policy;
+
+pub use cost::{evaluate_swap_reduction, OptimizationFlags, SwapReduction};
+pub use pipeline::{
+    decompose_swaps_fixed, embed, optimize_without_routing, transpile, RouterKind,
+    TranspileOptions, TranspileResult,
+};
+pub use policy::NasscPolicy;

@@ -1,0 +1,263 @@
+//! A minimal complex-number type.
+//!
+//! The reproduction keeps its dependency set small, so instead of pulling in
+//! `num-complex` we implement the handful of operations the synthesis and
+//! simulation code needs.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number.
+///
+/// # Example
+///
+/// ```
+/// use nassc_math::C64;
+///
+/// let i = C64::i();
+/// assert_eq!(i * i, C64::new(-1.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// Creates a complex number from real and imaginary parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// The additive identity `0`.
+    pub const fn zero() -> Self {
+        Self::new(0.0, 0.0)
+    }
+
+    /// The multiplicative identity `1`.
+    pub const fn one() -> Self {
+        Self::new(1.0, 0.0)
+    }
+
+    /// The imaginary unit `i`.
+    pub const fn i() -> Self {
+        Self::new(0.0, 1.0)
+    }
+
+    /// Builds a purely real complex number.
+    pub const fn real(re: f64) -> Self {
+        Self::new(re, 0.0)
+    }
+
+    /// Euler's formula: `exp(i * theta)`.
+    pub fn exp_i(theta: f64) -> Self {
+        Self::new(theta.cos(), theta.sin())
+    }
+
+    /// The complex exponential `exp(self)`.
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        Self::new(r * self.im.cos(), r * self.im.sin())
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `|z|^2`.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in `(-pi, pi]`.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Principal square root.
+    pub fn sqrt(self) -> Self {
+        let r = self.abs().sqrt();
+        let theta = self.arg() / 2.0;
+        Self::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Multiplies by a real scalar.
+    pub fn scale(self, s: f64) -> Self {
+        Self::new(self.re * s, self.im * s)
+    }
+
+    /// Returns `true` when both parts are within `tol` of the other value.
+    pub fn approx_eq(self, other: Self, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+
+    /// Returns `true` when the value is within `tol` of zero.
+    pub fn is_zero(self, tol: f64) -> bool {
+        self.abs() <= tol
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for C64 {
+    fn add_assign(&mut self, rhs: C64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for C64 {
+    fn sub_assign(&mut self, rhs: C64) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for C64 {
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    fn mul(self, rhs: f64) -> C64 {
+        self.scale(rhs)
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    fn div(self, rhs: C64) -> C64 {
+        let d = rhs.norm_sqr();
+        C64::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Div<f64> for C64 {
+    type Output = C64;
+    fn div(self, rhs: f64) -> C64 {
+        C64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::zero(), |acc, x| acc + x)
+    }
+}
+
+impl From<f64> for C64 {
+    fn from(re: f64) -> Self {
+        C64::real(re)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.4}+{:.4}i", self.re, self.im)
+        } else {
+            write!(f, "{:.4}-{:.4}i", self.re, -self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = C64::new(1.5, -2.0);
+        let b = C64::new(-0.25, 3.0);
+        assert!((a + b - b).approx_eq(a, 1e-14));
+        assert!((a * b / b).approx_eq(a, 1e-12));
+        assert!((a - a).is_zero(1e-15));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!((C64::i() * C64::i()).approx_eq(C64::real(-1.0), 1e-15));
+    }
+
+    #[test]
+    fn exp_i_is_on_unit_circle() {
+        for k in 0..16 {
+            let theta = k as f64 * 0.4 - 3.0;
+            let z = C64::exp_i(theta);
+            assert!((z.abs() - 1.0).abs() < 1e-14);
+            assert!((z.arg() - theta.rem_euclid(2.0 * std::f64::consts::PI)).abs() < 1e-12
+                || (z.arg() + 2.0 * std::f64::consts::PI
+                    - theta.rem_euclid(2.0 * std::f64::consts::PI))
+                .abs()
+                    < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let z = C64::new(-3.0, 4.0);
+        let s = z.sqrt();
+        assert!((s * s).approx_eq(z, 1e-12));
+    }
+
+    #[test]
+    fn conjugate_and_norm() {
+        let z = C64::new(3.0, -4.0);
+        assert_eq!(z.conj(), C64::new(3.0, 4.0));
+        assert!((z.norm_sqr() - 25.0).abs() < 1e-15);
+        assert!((z.abs() - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(format!("{}", C64::new(1.0, 2.0)), "1.0000+2.0000i");
+        assert_eq!(format!("{}", C64::new(1.0, -2.0)), "1.0000-2.0000i");
+    }
+
+    #[test]
+    fn sum_of_iterator() {
+        let total: C64 = (0..4).map(|k| C64::new(k as f64, 1.0)).sum();
+        assert!(total.approx_eq(C64::new(6.0, 4.0), 1e-15));
+    }
+}

@@ -1,0 +1,33 @@
+//! Small complex linear-algebra toolkit for the NASSC reproduction.
+//!
+//! The quantum-circuit stack only ever needs 2×2 and 4×4 complex matrices
+//! (single- and two-qubit unitaries), so everything here is fixed-size and
+//! allocation-free. The crate provides:
+//!
+//! * [`C64`] — a minimal complex-number type (we avoid external crates),
+//! * [`Matrix2`] and [`Matrix4`] — dense complex matrices with the handful of
+//!   operations the synthesis code needs (multiply, adjoint, Kronecker
+//!   product, determinant, trace, phase-insensitive comparison),
+//! * [`eigen`] — a Jacobi eigensolver for small real-symmetric matrices, used
+//!   by the two-qubit Weyl (KAK) decomposition.
+//!
+//! # Example
+//!
+//! ```
+//! use nassc_math::{C64, Matrix2};
+//!
+//! let h = Matrix2::hadamard();
+//! let hh = h.mul(&h);
+//! assert!(hh.approx_eq(&Matrix2::identity(), 1e-12));
+//! ```
+
+pub mod complex;
+pub mod eigen;
+pub mod matrix;
+
+pub use complex::C64;
+pub use matrix::{Matrix2, Matrix4};
+
+/// Default numerical tolerance used across the workspace when comparing
+/// floating-point matrices and angles.
+pub const EPS: f64 = 1e-9;

@@ -1,0 +1,430 @@
+//! Fixed-size 2×2 and 4×4 complex matrices.
+//!
+//! These are the only matrix sizes the quantum stack manipulates (one- and
+//! two-qubit operators), so both types are simple stack-allocated arrays with
+//! exactly the operations the synthesis and simulation layers need.
+
+use crate::complex::C64;
+
+/// A 2×2 complex matrix (a single-qubit operator).
+///
+/// # Example
+///
+/// ```
+/// use nassc_math::Matrix2;
+///
+/// let x = Matrix2::pauli_x();
+/// assert!(x.mul(&x).approx_eq(&Matrix2::identity(), 1e-12));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Matrix2 {
+    data: [[C64; 2]; 2],
+}
+
+impl Matrix2 {
+    /// Builds a matrix from rows.
+    pub const fn new(data: [[C64; 2]; 2]) -> Self {
+        Self { data }
+    }
+
+    /// The 2×2 identity.
+    pub fn identity() -> Self {
+        Self::new([
+            [C64::one(), C64::zero()],
+            [C64::zero(), C64::one()],
+        ])
+    }
+
+    /// The Pauli-X matrix.
+    pub fn pauli_x() -> Self {
+        Self::new([
+            [C64::zero(), C64::one()],
+            [C64::one(), C64::zero()],
+        ])
+    }
+
+    /// The Pauli-Y matrix.
+    pub fn pauli_y() -> Self {
+        Self::new([
+            [C64::zero(), C64::new(0.0, -1.0)],
+            [C64::new(0.0, 1.0), C64::zero()],
+        ])
+    }
+
+    /// The Pauli-Z matrix.
+    pub fn pauli_z() -> Self {
+        Self::new([
+            [C64::one(), C64::zero()],
+            [C64::zero(), C64::real(-1.0)],
+        ])
+    }
+
+    /// The Hadamard matrix.
+    pub fn hadamard() -> Self {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        Self::new([
+            [C64::real(s), C64::real(s)],
+            [C64::real(s), C64::real(-s)],
+        ])
+    }
+
+    /// Element access.
+    pub fn get(&self, row: usize, col: usize) -> C64 {
+        self.data[row][col]
+    }
+
+    /// Mutable element access.
+    pub fn set(&mut self, row: usize, col: usize, value: C64) {
+        self.data[row][col] = value;
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn mul(&self, rhs: &Matrix2) -> Matrix2 {
+        let mut out = [[C64::zero(); 2]; 2];
+        for (i, row) in out.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                let mut acc = C64::zero();
+                for k in 0..2 {
+                    acc += self.data[i][k] * rhs.data[k][j];
+                }
+                *cell = acc;
+            }
+        }
+        Matrix2::new(out)
+    }
+
+    /// Conjugate transpose.
+    pub fn adjoint(&self) -> Matrix2 {
+        let mut out = [[C64::zero(); 2]; 2];
+        for (i, row) in out.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = self.data[j][i].conj();
+            }
+        }
+        Matrix2::new(out)
+    }
+
+    /// Determinant.
+    pub fn det(&self) -> C64 {
+        self.data[0][0] * self.data[1][1] - self.data[0][1] * self.data[1][0]
+    }
+
+    /// Trace.
+    pub fn trace(&self) -> C64 {
+        self.data[0][0] + self.data[1][1]
+    }
+
+    /// Multiplies every entry by a complex scalar.
+    pub fn scale(&self, s: C64) -> Matrix2 {
+        let mut out = self.data;
+        for row in &mut out {
+            for cell in row.iter_mut() {
+                *cell = *cell * s;
+            }
+        }
+        Matrix2::new(out)
+    }
+
+    /// Entry-wise comparison within `tol`.
+    pub fn approx_eq(&self, other: &Matrix2, tol: f64) -> bool {
+        self.data.iter().flatten().zip(other.data.iter().flatten()).all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Comparison that ignores a global phase factor.
+    pub fn approx_eq_up_to_phase(&self, other: &Matrix2, tol: f64) -> bool {
+        match phase_between(
+            self.data.iter().flatten().copied(),
+            other.data.iter().flatten().copied(),
+            tol,
+        ) {
+            Some(phase) => self.approx_eq(&other.scale(phase), tol),
+            None => false,
+        }
+    }
+
+    /// Returns `true` when `self * self† ≈ I`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        self.mul(&self.adjoint()).approx_eq(&Matrix2::identity(), tol)
+    }
+
+    /// Kronecker product producing a 4×4 matrix. `self` acts on the most
+    /// significant qubit of the pair.
+    pub fn kron(&self, rhs: &Matrix2) -> Matrix4 {
+        let mut out = [[C64::zero(); 4]; 4];
+        for i in 0..2 {
+            for j in 0..2 {
+                for k in 0..2 {
+                    for l in 0..2 {
+                        out[2 * i + k][2 * j + l] = self.data[i][j] * rhs.data[k][l];
+                    }
+                }
+            }
+        }
+        Matrix4::new(out)
+    }
+}
+
+/// A 4×4 complex matrix (a two-qubit operator).
+///
+/// # Example
+///
+/// ```
+/// use nassc_math::Matrix4;
+///
+/// let cx = Matrix4::cnot();
+/// assert!(cx.mul(&cx).approx_eq(&Matrix4::identity(), 1e-12));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Matrix4 {
+    data: [[C64; 4]; 4],
+}
+
+impl Matrix4 {
+    /// Builds a matrix from rows.
+    pub const fn new(data: [[C64; 4]; 4]) -> Self {
+        Self { data }
+    }
+
+    /// The 4×4 identity.
+    pub fn identity() -> Self {
+        let mut data = [[C64::zero(); 4]; 4];
+        for (i, row) in data.iter_mut().enumerate() {
+            row[i] = C64::one();
+        }
+        Self::new(data)
+    }
+
+    /// The CNOT matrix with qubit 0 (least significant) as control and
+    /// qubit 1 as target, in little-endian ordering `|q1 q0>`.
+    pub fn cnot() -> Self {
+        let o = C64::one();
+        let z = C64::zero();
+        // Basis order |00>, |01>, |10>, |11> with q0 least significant.
+        // Control q0: |01> -> |11>, |11> -> |01>.
+        Self::new([
+            [o, z, z, z],
+            [z, z, z, o],
+            [z, z, o, z],
+            [z, o, z, z],
+        ])
+    }
+
+    /// The SWAP matrix.
+    pub fn swap() -> Self {
+        let o = C64::one();
+        let z = C64::zero();
+        Self::new([
+            [o, z, z, z],
+            [z, z, o, z],
+            [z, o, z, z],
+            [z, z, z, o],
+        ])
+    }
+
+    /// Element access.
+    pub fn get(&self, row: usize, col: usize) -> C64 {
+        self.data[row][col]
+    }
+
+    /// Mutable element access.
+    pub fn set(&mut self, row: usize, col: usize, value: C64) {
+        self.data[row][col] = value;
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn mul(&self, rhs: &Matrix4) -> Matrix4 {
+        let mut out = [[C64::zero(); 4]; 4];
+        for (i, row) in out.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                let mut acc = C64::zero();
+                for k in 0..4 {
+                    acc += self.data[i][k] * rhs.data[k][j];
+                }
+                *cell = acc;
+            }
+        }
+        Matrix4::new(out)
+    }
+
+    /// Conjugate transpose.
+    pub fn adjoint(&self) -> Matrix4 {
+        let mut out = [[C64::zero(); 4]; 4];
+        for (i, row) in out.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = self.data[j][i].conj();
+            }
+        }
+        Matrix4::new(out)
+    }
+
+    /// Transpose (no conjugation).
+    pub fn transpose(&self) -> Matrix4 {
+        let mut out = [[C64::zero(); 4]; 4];
+        for (i, row) in out.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = self.data[j][i];
+            }
+        }
+        Matrix4::new(out)
+    }
+
+    /// Trace.
+    pub fn trace(&self) -> C64 {
+        (0..4).map(|i| self.data[i][i]).sum()
+    }
+
+    /// Determinant via cofactor expansion.
+    pub fn det(&self) -> C64 {
+        let m = &self.data;
+        let det3 = |r: [usize; 3], c: [usize; 3]| -> C64 {
+            m[r[0]][c[0]] * (m[r[1]][c[1]] * m[r[2]][c[2]] - m[r[1]][c[2]] * m[r[2]][c[1]])
+                - m[r[0]][c[1]] * (m[r[1]][c[0]] * m[r[2]][c[2]] - m[r[1]][c[2]] * m[r[2]][c[0]])
+                + m[r[0]][c[2]] * (m[r[1]][c[0]] * m[r[2]][c[1]] - m[r[1]][c[1]] * m[r[2]][c[0]])
+        };
+        let rows = [1, 2, 3];
+        let cols = [[1, 2, 3], [0, 2, 3], [0, 1, 3], [0, 1, 2]];
+        let mut det = C64::zero();
+        for j in 0..4 {
+            let sign = if j % 2 == 0 { 1.0 } else { -1.0 };
+            det += m[0][j] * det3(rows, cols[j]).scale(sign);
+        }
+        det
+    }
+
+    /// Multiplies every entry by a complex scalar.
+    pub fn scale(&self, s: C64) -> Matrix4 {
+        let mut out = self.data;
+        for row in &mut out {
+            for cell in row.iter_mut() {
+                *cell = *cell * s;
+            }
+        }
+        Matrix4::new(out)
+    }
+
+    /// Entry-wise comparison within `tol`.
+    pub fn approx_eq(&self, other: &Matrix4, tol: f64) -> bool {
+        self.data.iter().flatten().zip(other.data.iter().flatten()).all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Comparison that ignores a global phase factor.
+    pub fn approx_eq_up_to_phase(&self, other: &Matrix4, tol: f64) -> bool {
+        match phase_between(
+            self.data.iter().flatten().copied(),
+            other.data.iter().flatten().copied(),
+            tol,
+        ) {
+            Some(phase) => self.approx_eq(&other.scale(phase), tol),
+            None => false,
+        }
+    }
+
+    /// Returns `true` when `self * self† ≈ I`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        self.mul(&self.adjoint()).approx_eq(&Matrix4::identity(), tol)
+    }
+
+    /// Reinterprets the matrix with the two qubits exchanged (conjugation by
+    /// SWAP). Useful for mapping little-endian conventions.
+    pub fn swap_qubits(&self) -> Matrix4 {
+        let s = Matrix4::swap();
+        s.mul(self).mul(&s)
+    }
+}
+
+/// Finds the phase `p` such that `a ≈ p * b` when the two sequences differ by
+/// only a global phase; returns `None` when no reference entry is large
+/// enough to determine it.
+fn phase_between<I, J>(a: I, b: J, tol: f64) -> Option<C64>
+where
+    I: Iterator<Item = C64>,
+    J: Iterator<Item = C64>,
+{
+    let pairs: Vec<(C64, C64)> = a.zip(b).collect();
+    let (sa, sb) = pairs
+        .iter()
+        .max_by(|x, y| x.1.norm_sqr().partial_cmp(&y.1.norm_sqr()).unwrap())?;
+    if sb.abs() <= tol {
+        // Both matrices are (near) zero; any phase works.
+        return Some(C64::one());
+    }
+    Some(*sa / *sb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pauli_matrices_square_to_identity() {
+        for m in [Matrix2::pauli_x(), Matrix2::pauli_y(), Matrix2::pauli_z(), Matrix2::hadamard()] {
+            assert!(m.mul(&m).approx_eq(&Matrix2::identity(), 1e-12));
+            assert!(m.is_unitary(1e-12));
+        }
+    }
+
+    #[test]
+    fn xy_equals_iz() {
+        let xy = Matrix2::pauli_x().mul(&Matrix2::pauli_y());
+        let iz = Matrix2::pauli_z().scale(C64::i());
+        assert!(xy.approx_eq(&iz, 1e-12));
+    }
+
+    #[test]
+    fn kron_identity_is_identity() {
+        let id4 = Matrix2::identity().kron(&Matrix2::identity());
+        assert!(id4.approx_eq(&Matrix4::identity(), 1e-12));
+    }
+
+    #[test]
+    fn cnot_and_swap_are_unitary_involutions() {
+        assert!(Matrix4::cnot().is_unitary(1e-12));
+        assert!(Matrix4::swap().is_unitary(1e-12));
+        assert!(Matrix4::cnot().mul(&Matrix4::cnot()).approx_eq(&Matrix4::identity(), 1e-12));
+        assert!(Matrix4::swap().mul(&Matrix4::swap()).approx_eq(&Matrix4::identity(), 1e-12));
+    }
+
+    #[test]
+    fn swap_from_three_cnots() {
+        // SWAP = CX(0,1) CX(1,0) CX(0,1) where CX(1,0) = (H⊗H) CX (H⊗H).
+        let cx01 = Matrix4::cnot();
+        let hh = Matrix2::hadamard().kron(&Matrix2::hadamard());
+        let cx10 = hh.mul(&cx01).mul(&hh);
+        let swap = cx01.mul(&cx10).mul(&cx01);
+        assert!(swap.approx_eq(&Matrix4::swap(), 1e-12));
+    }
+
+    #[test]
+    fn determinant_of_unitary_has_modulus_one() {
+        let m = Matrix2::hadamard().kron(&Matrix2::pauli_y()).mul(&Matrix4::cnot());
+        assert!((m.det().abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_insensitive_comparison() {
+        let m = Matrix4::cnot();
+        let phased = m.scale(C64::exp_i(0.7));
+        assert!(m.approx_eq_up_to_phase(&phased, 1e-12));
+        assert!(!m.approx_eq(&phased, 1e-12));
+        assert!(!m.approx_eq_up_to_phase(&Matrix4::swap(), 1e-9));
+    }
+
+    #[test]
+    fn swap_qubits_conjugation() {
+        // CNOT with control/target exchanged equals SWAP * CNOT * SWAP.
+        let reversed = Matrix4::cnot().swap_qubits();
+        let hh = Matrix2::hadamard().kron(&Matrix2::hadamard());
+        let expected = hh.mul(&Matrix4::cnot()).mul(&hh);
+        assert!(reversed.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn det4_matches_product_for_diagonal() {
+        let mut d = Matrix4::identity();
+        d.set(0, 0, C64::real(2.0));
+        d.set(1, 1, C64::real(3.0));
+        d.set(2, 2, C64::new(0.0, 1.0));
+        d.set(3, 3, C64::real(-1.0));
+        assert!(d.det().approx_eq(C64::new(0.0, -6.0), 1e-12));
+    }
+}

@@ -1,0 +1,338 @@
+//! Commutation analysis and commutative gate cancellation
+//! (Qiskit's `CommutationAnalysis` + `CommutativeCancellation`).
+
+use std::collections::HashMap;
+
+use nassc_circuit::{circuit_unitary, Instruction, QuantumCircuit};
+
+use crate::manager::{PassError, TranspilePass};
+
+/// Decides whether two instructions commute as operators.
+///
+/// Non-unitary instructions (measurements, barriers) never commute with
+/// anything. Instructions on disjoint qubits always commute. Otherwise the
+/// check is exact: both orderings are multiplied out on the (at most four)
+/// qubits involved and compared.
+pub fn instructions_commute(a: &Instruction, b: &Instruction) -> bool {
+    if !a.gate.is_unitary() || !b.gate.is_unitary() {
+        return false;
+    }
+    if !a.overlaps(b) {
+        return true;
+    }
+    // Map the union of qubits onto a compact register.
+    let mut qubits: Vec<usize> = a.qubits.iter().chain(b.qubits.iter()).copied().collect();
+    qubits.sort_unstable();
+    qubits.dedup();
+    let index_of = |q: usize| qubits.iter().position(|&x| x == q).expect("qubit in union");
+    let mut ab = QuantumCircuit::new(qubits.len());
+    ab.push(a.map_qubits(index_of));
+    ab.push(b.map_qubits(index_of));
+    let mut ba = QuantumCircuit::new(qubits.len());
+    ba.push(b.map_qubits(index_of));
+    ba.push(a.map_qubits(index_of));
+    circuit_unitary(&ab).approx_eq_up_to_phase(&circuit_unitary(&ba), 1e-9)
+}
+
+/// The per-wire commutation structure of a circuit.
+///
+/// On every wire, consecutive gates that pairwise commute are grouped into a
+/// *commute set*; gates inside one set may be freely reordered along that
+/// wire. This is the information NASSC's `C_commute1`/`C_commute2` cost
+/// terms query during routing.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CommutationSets {
+    /// `sets[wire]` is the ordered list of commute sets on that wire, each a
+    /// list of instruction indices in circuit order.
+    sets: Vec<Vec<Vec<usize>>>,
+}
+
+impl CommutationSets {
+    /// The commute sets of one wire, in circuit order.
+    pub fn wire(&self, qubit: usize) -> &[Vec<usize>] {
+        &self.sets[qubit]
+    }
+
+    /// The index of the commute set (on `qubit`) containing the instruction,
+    /// if the instruction acts on that wire.
+    pub fn set_of(&self, qubit: usize, instruction_index: usize) -> Option<usize> {
+        self.sets[qubit]
+            .iter()
+            .position(|set| set.contains(&instruction_index))
+    }
+
+    /// Whether two instructions belong to the same commute set on `qubit`.
+    pub fn same_set(&self, qubit: usize, a: usize, b: usize) -> bool {
+        match (self.set_of(qubit, a), self.set_of(qubit, b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+}
+
+/// Groups the gates on every wire into commute sets.
+///
+/// `max_set_size` bounds the pairwise-commutation search exactly like the
+/// paper's 20-gate cap: once a set reaches the cap a new set is started.
+pub fn commutation_analysis(circuit: &QuantumCircuit, max_set_size: usize) -> CommutationSets {
+    let mut sets: Vec<Vec<Vec<usize>>> = vec![Vec::new(); circuit.num_qubits()];
+    for (idx, inst) in circuit.iter().enumerate() {
+        for &q in &inst.qubits {
+            let wire_sets = &mut sets[q];
+            let joins_current = wire_sets.last().is_some_and(|current| {
+                current.len() < max_set_size
+                    && inst.gate.is_unitary()
+                    && current
+                        .iter()
+                        .all(|&other| instructions_commute(inst, &circuit.instructions()[other]))
+            });
+            if joins_current {
+                wire_sets.last_mut().expect("checked").push(idx);
+            } else {
+                wire_sets.push(vec![idx]);
+            }
+        }
+    }
+    CommutationSets { sets }
+}
+
+/// Cancels pairs of identical self-inverse gates that can be brought
+/// together by commutation (Qiskit's `CommutativeCancellation`).
+///
+/// # Example
+///
+/// ```
+/// use nassc_circuit::QuantumCircuit;
+/// use nassc_passes::{CommutativeCancellation, PassManager};
+///
+/// // The middle CX(1,2) commutes with CX(0,2) (same target), so the two
+/// // CX(0,2) gates cancel.
+/// let mut qc = QuantumCircuit::new(3);
+/// qc.cx(0, 2).cx(1, 2).cx(0, 2);
+/// let mut pm = PassManager::new();
+/// pm.push(CommutativeCancellation::default());
+/// assert_eq!(pm.run(&qc).unwrap().cx_count(), 1);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CommutativeCancellation {
+    /// Bound on the commute-set size (the paper uses 20).
+    pub max_set_size: usize,
+}
+
+impl Default for CommutativeCancellation {
+    fn default() -> Self {
+        Self { max_set_size: 20 }
+    }
+}
+
+impl TranspilePass for CommutativeCancellation {
+    fn name(&self) -> &str {
+        "commutative-cancellation"
+    }
+
+    fn run(&self, circuit: &QuantumCircuit) -> Result<QuantumCircuit, PassError> {
+        let mut current = circuit.clone();
+        // Iterate to a fixed point (each round may expose new cancellations),
+        // with a small bound to keep the pass predictable.
+        for _ in 0..4 {
+            let (next, changed) = cancel_once(&current, self.max_set_size);
+            current = next;
+            if !changed {
+                break;
+            }
+        }
+        Ok(current)
+    }
+}
+
+/// One round of commutation-aware cancellation. Returns the new circuit and
+/// whether anything was removed.
+fn cancel_once(circuit: &QuantumCircuit, max_set_size: usize) -> (QuantumCircuit, bool) {
+    let sets = commutation_analysis(circuit, max_set_size);
+    let mut removed = vec![false; circuit.num_gates()];
+
+    for wire in 0..circuit.num_qubits() {
+        for set in sets.wire(wire) {
+            // Group identical self-inverse gates within the set.
+            let mut groups: HashMap<String, Vec<usize>> = HashMap::new();
+            for &idx in set {
+                let inst = &circuit.instructions()[idx];
+                if !inst.gate.is_self_inverse() || removed[idx] {
+                    continue;
+                }
+                let key = format!("{}:{:?}", inst.gate.name(), inst.qubits);
+                groups.entry(key).or_default().push(idx);
+            }
+            for candidates in groups.values() {
+                let mut pending: Option<usize> = None;
+                for &idx in candidates {
+                    if removed[idx] {
+                        continue;
+                    }
+                    match pending {
+                        None => pending = Some(idx),
+                        Some(first) => {
+                            let inst = &circuit.instructions()[idx];
+                            // Multi-qubit cancellations must be legal on every
+                            // wire the gate touches, not just this one.
+                            let ok_everywhere = inst
+                                .qubits
+                                .iter()
+                                .all(|&q| sets.same_set(q, first, idx));
+                            if ok_everywhere {
+                                removed[first] = true;
+                                removed[idx] = true;
+                                pending = None;
+                            } else {
+                                pending = Some(idx);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let changed = removed.iter().any(|&r| r);
+    let mut out = QuantumCircuit::new(circuit.num_qubits());
+    for (idx, inst) in circuit.iter().enumerate() {
+        if !removed[idx] {
+            out.push(inst.clone());
+        }
+    }
+    (out, changed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nassc_circuit::{circuits_equivalent, Gate};
+
+    #[test]
+    fn commutation_of_standard_pairs() {
+        let cx01 = Instruction::new(Gate::Cx, vec![0, 1]);
+        let cx21 = Instruction::new(Gate::Cx, vec![2, 1]);
+        let cx10 = Instruction::new(Gate::Cx, vec![1, 0]);
+        let z0 = Instruction::new(Gate::Z, vec![0]);
+        let x1 = Instruction::new(Gate::X, vec![1]);
+        let x0 = Instruction::new(Gate::X, vec![0]);
+        assert!(instructions_commute(&cx01, &cx21), "shared target commutes");
+        assert!(!instructions_commute(&cx01, &cx10), "opposite direction does not");
+        assert!(instructions_commute(&cx01, &z0), "Z on control commutes");
+        assert!(instructions_commute(&cx01, &x1), "X on target commutes");
+        assert!(!instructions_commute(&cx01, &x0), "X on control does not");
+        assert!(instructions_commute(&z0, &x1), "disjoint qubits commute");
+    }
+
+    #[test]
+    fn measurements_never_commute() {
+        let m = Instruction::new(Gate::Measure, vec![0]);
+        let z = Instruction::new(Gate::Z, vec![0]);
+        assert!(!instructions_commute(&m, &z));
+    }
+
+    #[test]
+    fn analysis_groups_commuting_cnots() {
+        let mut qc = QuantumCircuit::new(3);
+        qc.cx(0, 2).cx(1, 2).cx(0, 2).h(2);
+        let sets = commutation_analysis(&qc, 20);
+        // On wire 2 the three CNOTs share a target and commute; H starts a new set.
+        assert_eq!(sets.wire(2).len(), 2);
+        assert_eq!(sets.wire(2)[0], vec![0, 1, 2]);
+        assert_eq!(sets.wire(2)[1], vec![3]);
+        assert!(sets.same_set(2, 0, 2));
+        assert!(!sets.same_set(2, 0, 3));
+    }
+
+    #[test]
+    fn set_size_cap_is_respected() {
+        let mut qc = QuantumCircuit::new(1);
+        for _ in 0..10 {
+            qc.z(0);
+        }
+        let sets = commutation_analysis(&qc, 4);
+        assert!(sets.wire(0).iter().all(|s| s.len() <= 4));
+        assert_eq!(sets.wire(0).len(), 3);
+    }
+
+    #[test]
+    fn cancels_cnots_through_commuting_gate() {
+        let mut qc = QuantumCircuit::new(3);
+        qc.cx(0, 2).cx(1, 2).cx(0, 2);
+        let out = CommutativeCancellation::default().run(&qc).unwrap();
+        assert_eq!(out.cx_count(), 1);
+        assert!(circuits_equivalent(&qc, &out, 1e-9));
+    }
+
+    #[test]
+    fn does_not_cancel_across_blocking_gates() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.cx(0, 1).h(1).cx(0, 1);
+        let out = CommutativeCancellation::default().run(&qc).unwrap();
+        assert_eq!(out.cx_count(), 2);
+    }
+
+    #[test]
+    fn cancels_single_qubit_self_inverses() {
+        // Every gate here commutes into a cancelling pair: the whole circuit
+        // collapses to the identity.
+        let mut qc = QuantumCircuit::new(2);
+        qc.z(0).cx(0, 1).z(0); // Z commutes with the control
+        qc.x(1).cx(0, 1).x(1); // X commutes with the target
+        let out = CommutativeCancellation::default().run(&qc).unwrap();
+        assert_eq!(out.num_gates(), 0);
+        assert!(circuits_equivalent(&qc, &out, 1e-9));
+    }
+
+    #[test]
+    fn swap_cnot_cancellation_case_from_paper() {
+        // Figure 4: a CNOT followed by a SWAP decomposed so its first CNOT
+        // matches — one pair cancels, leaving 2 CNOTs.
+        let mut qc = QuantumCircuit::new(2);
+        qc.cx(0, 1);
+        qc.cx(0, 1).cx(1, 0).cx(0, 1); // SWAP with matching orientation
+        let out = CommutativeCancellation::default().run(&qc).unwrap();
+        assert_eq!(out.cx_count(), 2);
+        assert!(circuits_equivalent(&qc, &out, 1e-9));
+    }
+
+    #[test]
+    fn rotation_gates_are_left_alone() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.rz(0.4, 0).rz(-0.4, 0);
+        let out = CommutativeCancellation::default().run(&qc).unwrap();
+        // Not self-inverse gates: this pass leaves them for Optimize1qGates.
+        assert_eq!(out.num_gates(), 2);
+    }
+
+    #[test]
+    fn preserves_semantics_on_random_clifford_circuits() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..15 {
+            let mut qc = QuantumCircuit::new(4);
+            for _ in 0..30 {
+                match rng.gen_range(0..6) {
+                    0 => {
+                        qc.x(rng.gen_range(0..4));
+                    }
+                    1 => {
+                        qc.z(rng.gen_range(0..4));
+                    }
+                    2 => {
+                        qc.h(rng.gen_range(0..4));
+                    }
+                    _ => {
+                        let a = rng.gen_range(0..4);
+                        let b = (a + rng.gen_range(1..4)) % 4;
+                        qc.cx(a, b);
+                    }
+                }
+            }
+            let out = CommutativeCancellation::default().run(&qc).unwrap();
+            assert!(circuits_equivalent(&qc, &out, 1e-8));
+            assert!(out.num_gates() <= qc.num_gates());
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Configuration shared by the SABRE layout and routing passes.
+
+/// Tuning parameters of the SABRE heuristic.
+///
+/// The defaults follow the paper's experimental setup (§V): an extended
+/// (lookahead) layer of 20 two-qubit gates weighted by 0.5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SabreConfig {
+    /// Maximum number of two-qubit gates in the extended (lookahead) layer.
+    pub extended_set_size: usize,
+    /// Weight `W` of the extended layer in the heuristic cost.
+    pub extended_set_weight: f64,
+    /// Multiplicative decay applied to recently swapped qubits to discourage
+    /// ping-ponging (SABRE's "decay effect").
+    pub decay_delta: f64,
+    /// Number of SWAP insertions after which decay values reset.
+    pub decay_reset_interval: usize,
+    /// Number of forward/backward traversal rounds used to refine the
+    /// initial layout.
+    pub layout_iterations: usize,
+    /// Seed for the random initial layout and tie-breaking.
+    pub seed: u64,
+}
+
+impl Default for SabreConfig {
+    fn default() -> Self {
+        Self {
+            extended_set_size: 20,
+            extended_set_weight: 0.5,
+            decay_delta: 0.001,
+            decay_reset_interval: 5,
+            layout_iterations: 3,
+            seed: 2022,
+        }
+    }
+}
+
+impl SabreConfig {
+    /// A config with the given seed and paper-default parameters.
+    pub fn with_seed(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = SabreConfig::default();
+        assert_eq!(c.extended_set_size, 20);
+        assert!((c.extended_set_weight - 0.5).abs() < 1e-12);
+        assert!(c.layout_iterations >= 1);
+    }
+
+    #[test]
+    fn with_seed_overrides_only_seed() {
+        let c = SabreConfig::with_seed(7);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.extended_set_size, SabreConfig::default().extended_set_size);
+    }
+}

@@ -1,0 +1,40 @@
+//! SABRE qubit layout and routing — the paper's baseline router.
+//!
+//! SABRE (Li, Ding, Xie — ASPLOS 2019) routes a logical circuit onto a
+//! constrained device by repeatedly inserting the SWAP that minimises a
+//! lookahead distance heuristic over the front and extended layers. This
+//! crate provides:
+//!
+//! * [`sabre_layout`] — random initial layout refined by reverse traversal,
+//! * [`sabre_route`] — SWAP insertion with the plain SABRE heuristic,
+//! * [`route_with_policy`] / [`SwapPolicy`] — the same traversal engine with
+//!   a pluggable cost function, which is how the NASSC router reuses the
+//!   machinery while replacing the scoring.
+//!
+//! # Example
+//!
+//! ```
+//! use nassc_circuit::QuantumCircuit;
+//! use nassc_sabre::{sabre_layout, sabre_route, SabreConfig};
+//! use nassc_topology::CouplingMap;
+//! use rand::SeedableRng;
+//!
+//! let mut qc = QuantumCircuit::new(3);
+//! qc.cx(1, 2).cx(0, 1).cx(0, 2);
+//! let device = CouplingMap::linear(3);
+//! let distances = device.distance_matrix();
+//! let config = SabreConfig::with_seed(7);
+//! let layout = sabre_layout(&qc, &device, &distances, &config);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let routed = sabre_route(&qc, &device, &distances, &layout, &config, &mut rng);
+//! assert!(routed.swap_count <= 2);
+//! ```
+
+pub mod config;
+pub mod router;
+
+pub use config::SabreConfig;
+pub use router::{
+    route_with_policy, sabre_layout, sabre_route, RoutingContext, RoutingResult, SabrePolicy,
+    SwapPolicy,
+};

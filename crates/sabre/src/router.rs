@@ -1,0 +1,525 @@
+//! The SWAP-insertion routing engine.
+//!
+//! The engine implements the SABRE traversal (front layer / extended layer /
+//! decay, eager execution of gates that already fit the device) and delegates
+//! the *scoring* of SWAP candidates to a [`SwapPolicy`]. The plain SABRE
+//! heuristic is provided here as [`SabrePolicy`]; the NASSC crate plugs in
+//! its optimization-aware cost function through the same interface.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use nassc_circuit::{DagCircuit, Gate, QuantumCircuit};
+use nassc_topology::{CouplingMap, DistanceMatrix, Layout};
+
+use crate::config::SabreConfig;
+
+/// Read-only view of the router's state handed to a [`SwapPolicy`] when
+/// scoring a SWAP candidate.
+#[derive(Debug)]
+pub struct RoutingContext<'a> {
+    /// The device connectivity.
+    pub coupling: &'a CouplingMap,
+    /// The distance matrix used by the heuristic (plain or noise-aware).
+    pub distances: &'a DistanceMatrix,
+    /// The current logical→physical layout (before the candidate SWAP).
+    pub layout: &'a Layout,
+    /// DAG node ids of the unroutable two-qubit gates in the front layer.
+    pub front: &'a [usize],
+    /// DAG node ids of the lookahead (extended) layer.
+    pub extended: &'a [usize],
+    /// The logical circuit's dependency DAG.
+    pub dag: &'a DagCircuit,
+    /// The physical circuit emitted so far (resolved gates and earlier SWAPs).
+    pub output: &'a QuantumCircuit,
+    /// The heuristic configuration.
+    pub config: &'a SabreConfig,
+}
+
+impl RoutingContext<'_> {
+    /// The summed front-layer distance under a layout.
+    pub fn front_distance(&self, layout: &Layout) -> f64 {
+        self.front
+            .iter()
+            .map(|&node| {
+                let inst = &self.dag.node(node).instruction;
+                let a = layout.physical_of(inst.qubits[0]);
+                let b = layout.physical_of(inst.qubits[1]);
+                self.distances.weight(a, b)
+            })
+            .sum()
+    }
+
+    /// The summed extended-layer distance under a layout.
+    pub fn extended_distance(&self, layout: &Layout) -> f64 {
+        self.extended
+            .iter()
+            .map(|&node| {
+                let inst = &self.dag.node(node).instruction;
+                let a = layout.physical_of(inst.qubits[0]);
+                let b = layout.physical_of(inst.qubits[1]);
+                self.distances.weight(a, b)
+            })
+            .sum()
+    }
+
+    /// The layout obtained by applying the candidate SWAP.
+    pub fn layout_after_swap(&self, p1: usize, p2: usize) -> Layout {
+        let mut trial = self.layout.clone();
+        trial.swap_physical(p1, p2);
+        trial
+    }
+
+    /// SABRE's lookahead distance term: normalised front-layer distance plus
+    /// the weighted, normalised extended-layer distance, evaluated after the
+    /// candidate SWAP.
+    pub fn lookahead_cost(&self, p1: usize, p2: usize) -> f64 {
+        let trial = self.layout_after_swap(p1, p2);
+        let front_len = self.front.len().max(1) as f64;
+        let front_term = self.front_distance(&trial) / front_len;
+        let extended_term = if self.extended.is_empty() {
+            0.0
+        } else {
+            self.config.extended_set_weight * self.extended_distance(&trial)
+                / self.extended.len() as f64
+        };
+        front_term + extended_term
+    }
+}
+
+/// Scoring hook for SWAP candidates plus emission callbacks.
+///
+/// Lower scores are better. The engine multiplies the returned score by the
+/// SABRE decay factor of the two physical qubits before comparing.
+pub trait SwapPolicy {
+    /// Scores the SWAP on physical qubits `(p1, p2)`.
+    fn score(&mut self, ctx: &RoutingContext<'_>, p1: usize, p2: usize) -> f64;
+
+    /// Called just before the SWAP instruction is appended to the output,
+    /// allowing the policy to rearrange trailing gates (NASSC moves
+    /// single-qubit gates through the SWAP here).
+    fn before_swap_emit(&mut self, _output: &mut QuantumCircuit, _layout: &Layout, _p1: usize, _p2: usize) {}
+
+    /// Called after the SWAP has been appended at `swap_index`. The output
+    /// is mutable so policies can re-append gates they detached in
+    /// [`SwapPolicy::before_swap_emit`] (e.g. single-qubit gates commuted
+    /// through the SWAP).
+    fn after_swap_emit(&mut self, _output: &mut QuantumCircuit, _swap_index: usize, _p1: usize, _p2: usize) {}
+}
+
+/// The plain SABRE heuristic: front-layer distance with extended-layer
+/// lookahead (Li et al., ASPLOS 2019) — the paper's baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SabrePolicy;
+
+impl SwapPolicy for SabrePolicy {
+    fn score(&mut self, ctx: &RoutingContext<'_>, p1: usize, p2: usize) -> f64 {
+        ctx.lookahead_cost(p1, p2)
+    }
+}
+
+/// The product of routing a circuit onto a device.
+#[derive(Debug, Clone)]
+pub struct RoutingResult {
+    /// The physical circuit: resolved gates plus inserted SWAPs (kept as
+    /// `swap` instructions so later passes can decompose them as they wish).
+    pub circuit: QuantumCircuit,
+    /// The layout in force before the first gate.
+    pub initial_layout: Layout,
+    /// The layout in force after the last gate (differs from the initial one
+    /// by the net effect of the inserted SWAPs).
+    pub final_layout: Layout,
+    /// Number of SWAP gates inserted.
+    pub swap_count: usize,
+}
+
+/// Routes a logical circuit with the given SWAP policy.
+///
+/// Every gate of the output acts on physical qubits and every two-qubit gate
+/// respects the coupling map (inserted SWAPs included).
+///
+/// # Panics
+///
+/// Panics when the device is smaller than the circuit, the coupling graph is
+/// disconnected, or routing fails to make progress (which would indicate an
+/// internal bug).
+pub fn route_with_policy<P: SwapPolicy>(
+    circuit: &QuantumCircuit,
+    coupling: &CouplingMap,
+    distances: &DistanceMatrix,
+    initial_layout: &Layout,
+    config: &SabreConfig,
+    policy: &mut P,
+    rng: &mut StdRng,
+) -> RoutingResult {
+    assert!(
+        circuit.num_qubits() <= coupling.num_qubits(),
+        "circuit needs {} qubits but the device has {}",
+        circuit.num_qubits(),
+        coupling.num_qubits()
+    );
+    let dag = DagCircuit::from_circuit(circuit);
+    let mut in_deg = dag.in_degrees();
+    let mut executed = vec![false; dag.num_nodes()];
+    let mut ready: Vec<usize> = dag.front_layer();
+    let mut layout = initial_layout.clone();
+    let mut output = QuantumCircuit::new(coupling.num_qubits());
+    let mut decay = vec![1.0_f64; coupling.num_qubits()];
+    let mut swaps_since_reset = 0usize;
+    let mut swap_count = 0usize;
+    let mut remaining = dag.num_nodes();
+
+    let max_swaps = 10 + 20 * dag.num_nodes() * coupling.num_qubits();
+    let mut total_swaps_guard = 0usize;
+
+    while remaining > 0 {
+        // Execute everything that fits under the current layout.
+        let mut progress = true;
+        while progress {
+            progress = false;
+            let mut next_ready = Vec::new();
+            for &node in &ready {
+                if executed[node] {
+                    continue;
+                }
+                let inst = &dag.node(node).instruction;
+                let runnable = if inst.is_two_qubit() {
+                    let a = layout.physical_of(inst.qubits[0]);
+                    let b = layout.physical_of(inst.qubits[1]);
+                    coupling.are_connected(a, b)
+                } else {
+                    true
+                };
+                if runnable {
+                    output.push(inst.map_qubits(|q| layout.physical_of(q)));
+                    executed[node] = true;
+                    remaining -= 1;
+                    progress = true;
+                    for &succ in dag.node(node).successors() {
+                        in_deg[succ] -= 1;
+                        if in_deg[succ] == 0 {
+                            next_ready.push(succ);
+                        }
+                    }
+                } else {
+                    next_ready.push(node);
+                }
+            }
+            ready = next_ready;
+            ready.sort_unstable();
+            ready.dedup();
+        }
+        if remaining == 0 {
+            break;
+        }
+
+        // The remaining ready gates are two-qubit gates that need SWAPs.
+        let front: Vec<usize> = ready
+            .iter()
+            .copied()
+            .filter(|&n| !executed[n] && dag.node(n).instruction.is_two_qubit())
+            .collect();
+        assert!(
+            !front.is_empty(),
+            "routing stalled: unresolved gates remain but the front layer is empty"
+        );
+        let extended = collect_extended_set(&dag, &front, &executed, config.extended_set_size);
+
+        // Candidate SWAPs: every coupling edge incident to a front-layer qubit.
+        let mut candidates: Vec<(usize, usize)> = Vec::new();
+        for &node in &front {
+            for &logical in &dag.node(node).instruction.qubits {
+                let p = layout.physical_of(logical);
+                for &n in coupling.neighbors(p) {
+                    let edge = (p.min(n), p.max(n));
+                    if !candidates.contains(&edge) {
+                        candidates.push(edge);
+                    }
+                }
+            }
+        }
+        candidates.shuffle(rng);
+
+        let ctx = RoutingContext {
+            coupling,
+            distances,
+            layout: &layout,
+            front: &front,
+            extended: &extended,
+            dag: &dag,
+            output: &output,
+            config,
+        };
+        let mut best: Option<((usize, usize), f64)> = None;
+        for &(p1, p2) in &candidates {
+            let raw = policy.score(&ctx, p1, p2);
+            let score = raw * decay[p1].max(decay[p2]);
+            if best.map_or(true, |(_, b)| score < b) {
+                best = Some(((p1, p2), score));
+            }
+        }
+        let ((p1, p2), _) = best.expect("at least one SWAP candidate");
+
+        policy.before_swap_emit(&mut output, &layout, p1, p2);
+        output.push(nassc_circuit::Instruction::new(Gate::Swap, vec![p1, p2]));
+        let swap_index = output.num_gates() - 1;
+        policy.after_swap_emit(&mut output, swap_index, p1, p2);
+        layout.swap_physical(p1, p2);
+        swap_count += 1;
+        total_swaps_guard += 1;
+        assert!(
+            total_swaps_guard <= max_swaps,
+            "routing exceeded the SWAP budget; the coupling graph may be disconnected"
+        );
+        decay[p1] += config.decay_delta;
+        decay[p2] += config.decay_delta;
+        swaps_since_reset += 1;
+        if swaps_since_reset >= config.decay_reset_interval {
+            decay.iter_mut().for_each(|d| *d = 1.0);
+            swaps_since_reset = 0;
+        }
+    }
+
+    RoutingResult {
+        circuit: output,
+        initial_layout: initial_layout.clone(),
+        final_layout: layout,
+        swap_count,
+    }
+}
+
+/// Routes with the plain SABRE heuristic.
+pub fn sabre_route(
+    circuit: &QuantumCircuit,
+    coupling: &CouplingMap,
+    distances: &DistanceMatrix,
+    initial_layout: &Layout,
+    config: &SabreConfig,
+    rng: &mut StdRng,
+) -> RoutingResult {
+    route_with_policy(circuit, coupling, distances, initial_layout, config, &mut SabrePolicy, rng)
+}
+
+/// Chooses an initial layout with SABRE's random-start + reverse-traversal
+/// refinement.
+pub fn sabre_layout(
+    circuit: &QuantumCircuit,
+    coupling: &CouplingMap,
+    distances: &DistanceMatrix,
+    config: &SabreConfig,
+) -> Layout {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut layout = Layout::random(coupling.num_qubits(), &mut rng);
+    if circuit.two_qubit_gate_count() == 0 {
+        return layout;
+    }
+    let reversed = circuit.reversed();
+    for _ in 0..config.layout_iterations {
+        let forward =
+            route_with_policy(circuit, coupling, distances, &layout, config, &mut SabrePolicy, &mut rng);
+        let backward = route_with_policy(
+            &reversed,
+            coupling,
+            distances,
+            &forward.final_layout,
+            config,
+            &mut SabrePolicy,
+            &mut rng,
+        );
+        layout = backward.final_layout;
+    }
+    layout
+}
+
+/// Collects up to `limit` not-yet-executed two-qubit gates reachable from the
+/// front layer — the lookahead (extended) layer.
+fn collect_extended_set(
+    dag: &DagCircuit,
+    front: &[usize],
+    executed: &[bool],
+    limit: usize,
+) -> Vec<usize> {
+    let mut extended = Vec::new();
+    let mut queue: std::collections::VecDeque<usize> = front.iter().copied().collect();
+    let mut seen: std::collections::HashSet<usize> = front.iter().copied().collect();
+    while let Some(node) = queue.pop_front() {
+        if extended.len() >= limit {
+            break;
+        }
+        for &succ in dag.node(node).successors() {
+            if seen.insert(succ) && !executed[succ] {
+                if dag.node(succ).instruction.is_two_qubit() {
+                    extended.push(succ);
+                    if extended.len() >= limit {
+                        break;
+                    }
+                }
+                queue.push_back(succ);
+            }
+        }
+    }
+    extended
+}
+
+/// Returns a uniformly random tie-broken integer in `0..n` (helper for
+/// policies that need reproducible randomness).
+pub fn random_index(rng: &mut StdRng, n: usize) -> usize {
+    rng.gen_range(0..n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nassc_circuit::circuits_equivalent_up_to_permutation;
+    use nassc_passes::is_mapped;
+
+    fn route(circuit: &QuantumCircuit, coupling: &CouplingMap, seed: u64) -> RoutingResult {
+        let config = SabreConfig::with_seed(seed);
+        let distances = coupling.distance_matrix();
+        let layout = Layout::trivial(coupling.num_qubits());
+        let mut rng = StdRng::seed_from_u64(seed);
+        sabre_route(circuit, coupling, &distances, &layout, &config, &mut rng)
+    }
+
+    /// Expands SWAPs so the equivalence checker sees plain unitaries and
+    /// verifies the routed circuit implements the original (up to the final
+    /// qubit permutation induced by the SWAPs and layout).
+    fn assert_routing_preserves_semantics(original: &QuantumCircuit, result: &RoutingResult) {
+        // Embed the original on the device width with the initial layout.
+        let device_width = result.circuit.num_qubits();
+        let embedded = original.map_qubits(device_width, |q| result.initial_layout.physical_of(q));
+        let perm = result.initial_layout.permutation_to(&result.final_layout);
+        // The routed circuit applies: initial-embedding followed by extra
+        // SWAPs, so original ∘ permutation == routed.
+        assert!(
+            circuits_equivalent_up_to_permutation(&embedded, &result.circuit, &perm, 1e-7),
+            "routing changed circuit semantics"
+        );
+    }
+
+    #[test]
+    fn already_mapped_circuit_needs_no_swaps() {
+        let line = CouplingMap::linear(3);
+        let mut qc = QuantumCircuit::new(3);
+        qc.h(0).cx(0, 1).cx(1, 2);
+        let result = route(&qc, &line, 1);
+        assert_eq!(result.swap_count, 0);
+        assert_eq!(result.circuit.num_gates(), 3);
+    }
+
+    #[test]
+    fn routes_distant_cnot_on_a_line() {
+        let line = CouplingMap::linear(4);
+        let mut qc = QuantumCircuit::new(4);
+        qc.cx(0, 3);
+        let result = route(&qc, &line, 3);
+        assert!(result.swap_count >= 2);
+        assert!(is_mapped(&result.circuit, &line));
+        assert_routing_preserves_semantics(&qc, &result);
+    }
+
+    #[test]
+    fn figure1_linear_example_routes_with_one_swap() {
+        // The paper's Figure 1: gates on (1,2), (0,1), (0,2) on a 3-qubit line.
+        let line = CouplingMap::linear(3);
+        let mut qc = QuantumCircuit::new(3);
+        qc.cx(1, 2).cx(0, 1).cx(0, 2);
+        let result = route(&qc, &line, 5);
+        assert_eq!(result.swap_count, 1);
+        assert!(is_mapped(&result.circuit, &line));
+        assert_routing_preserves_semantics(&qc, &result);
+    }
+
+    #[test]
+    fn routing_preserves_semantics_on_random_circuits() {
+        use rand::Rng;
+        let grid = CouplingMap::grid(2, 3);
+        let mut rng = StdRng::seed_from_u64(11);
+        for trial in 0..10 {
+            let mut qc = QuantumCircuit::new(5);
+            for _ in 0..15 {
+                let a = rng.gen_range(0..5);
+                let b = (a + rng.gen_range(1..5)) % 5;
+                if rng.gen_bool(0.3) {
+                    qc.h(a);
+                } else {
+                    qc.cx(a, b);
+                }
+            }
+            let result = route(&qc, &grid, trial as u64);
+            assert!(is_mapped(&result.circuit, &grid), "trial {trial} not mapped");
+            assert_routing_preserves_semantics(&qc, &result);
+        }
+    }
+
+    #[test]
+    fn sabre_layout_produces_valid_layout() {
+        let montreal = CouplingMap::ibmq_montreal();
+        let distances = montreal.distance_matrix();
+        let mut qc = QuantumCircuit::new(5);
+        qc.cx(0, 1).cx(1, 2).cx(2, 3).cx(3, 4).cx(0, 4);
+        let layout = sabre_layout(&qc, &montreal, &distances, &SabreConfig::with_seed(9));
+        assert_eq!(layout.len(), 27);
+        // It is a permutation.
+        let mut seen = vec![false; 27];
+        for q in 0..27 {
+            seen[layout.physical_of(q)] = true;
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn layout_refinement_reduces_swaps_compared_to_worst_case() {
+        // A ring-structured circuit on the montreal map: a refined layout
+        // should route with a reasonable number of SWAPs.
+        let montreal = CouplingMap::ibmq_montreal();
+        let distances = montreal.distance_matrix();
+        let mut qc = QuantumCircuit::new(6);
+        for _ in 0..3 {
+            for i in 0..6 {
+                qc.cx(i, (i + 1) % 6);
+            }
+        }
+        let config = SabreConfig::with_seed(2);
+        let layout = sabre_layout(&qc, &montreal, &distances, &config);
+        let mut rng = StdRng::seed_from_u64(2);
+        let routed = sabre_route(&qc, &montreal, &distances, &layout, &config, &mut rng);
+        assert!(is_mapped(&routed.circuit, &montreal));
+        // 18 CNOTs on a sensible layout should need well under 2 SWAPs per CNOT.
+        assert!(routed.swap_count <= 27, "needed {} swaps", routed.swap_count);
+    }
+
+    #[test]
+    fn measurements_are_mapped_to_physical_qubits() {
+        let line = CouplingMap::linear(3);
+        let mut qc = QuantumCircuit::new(2);
+        qc.cx(0, 1).measure(0).measure(1);
+        let mut layout = Layout::trivial(3);
+        layout.swap_physical(0, 2);
+        let config = SabreConfig::default();
+        let distances = line.distance_matrix();
+        let mut rng = StdRng::seed_from_u64(0);
+        let result = sabre_route(&qc, &line, &distances, &layout, &config, &mut rng);
+        let measures: Vec<_> = result
+            .circuit
+            .iter()
+            .filter(|i| i.gate == Gate::Measure)
+            .map(|i| i.qubits[0])
+            .collect();
+        assert_eq!(measures.len(), 2);
+        assert!(measures.contains(&2) || measures.contains(&1));
+    }
+
+    #[test]
+    fn extended_set_respects_limit() {
+        let mut qc = QuantumCircuit::new(6);
+        for i in 0..5 {
+            qc.cx(i, i + 1);
+        }
+        let dag = DagCircuit::from_circuit(&qc);
+        let executed = vec![false; dag.num_nodes()];
+        let extended = collect_extended_set(&dag, &[0], &executed, 2);
+        assert!(extended.len() <= 2);
+    }
+}

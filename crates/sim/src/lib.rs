@@ -1,0 +1,32 @@
+//! Noisy state-vector simulation for the NASSC reproduction.
+//!
+//! The Figure 11 experiment compares routing variants under a realistic
+//! device noise model. This crate provides the pieces:
+//!
+//! * [`NoiseModel`] — per-gate depolarising and per-qubit readout errors
+//!   derived from a [`nassc_topology::Calibration`],
+//! * [`CompactCircuit`] — restriction of a wide device circuit to its active
+//!   qubits so routed 27-qubit circuits stay simulable,
+//! * [`ideal_distribution`] / [`noisy_counts`] / [`success_rate`] — the
+//!   noiseless reference, Monte-Carlo trajectory sampling and the success
+//!   metric the paper reports.
+//!
+//! # Example
+//!
+//! ```
+//! use nassc_circuit::QuantumCircuit;
+//! use nassc_sim::{success_rate, NoiseModel};
+//!
+//! let mut qc = QuantumCircuit::new(2);
+//! qc.x(0).cx(0, 1).measure(0).measure(1);
+//! let rate = success_rate(&qc, &NoiseModel::noiseless(2), 100, 1);
+//! assert!((rate - 1.0).abs() < 1e-9);
+//! ```
+
+pub mod noise;
+pub mod simulator;
+
+pub use noise::NoiseModel;
+pub use simulator::{
+    ideal_distribution, ideal_most_likely, noisy_counts, success_rate, CompactCircuit,
+};

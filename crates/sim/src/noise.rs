@@ -1,0 +1,105 @@
+//! Calibration-driven Pauli noise model.
+
+use nassc_circuit::Instruction;
+use nassc_topology::{Calibration, CouplingMap};
+
+/// Gate- and readout-error model derived from device calibration data,
+/// mirroring how the paper builds its simulator noise model from
+/// `ibmq_montreal` backend properties.
+#[derive(Debug, Clone)]
+pub struct NoiseModel {
+    coupling_qubits: usize,
+    calibration: Calibration,
+    default_cx_error: f64,
+}
+
+impl NoiseModel {
+    /// Builds a noise model from a device calibration.
+    pub fn from_calibration(coupling: &CouplingMap, calibration: Calibration) -> Self {
+        let default_cx_error = coupling
+            .edges()
+            .iter()
+            .filter_map(|&(a, b)| calibration.cx_error(a, b))
+            .fold(0.0_f64, f64::max)
+            .max(0.01);
+        Self { coupling_qubits: coupling.num_qubits(), calibration, default_cx_error }
+    }
+
+    /// A noiseless model (useful as a control in tests).
+    pub fn noiseless(num_qubits: usize) -> Self {
+        let coupling = CouplingMap::fully_connected(num_qubits.max(2));
+        let calibration = Calibration::uniform(&coupling, 0.0, 0.0);
+        Self { coupling_qubits: num_qubits, calibration, default_cx_error: 0.0 }
+    }
+
+    /// The number of physical qubits covered.
+    pub fn num_qubits(&self) -> usize {
+        self.coupling_qubits
+    }
+
+    /// The depolarising-error probability applied after the given
+    /// instruction (0 for barriers and measurements — readout error is
+    /// handled separately).
+    pub fn gate_error(&self, inst: &Instruction) -> f64 {
+        if !inst.gate.is_unitary() {
+            return 0.0;
+        }
+        match inst.num_qubits() {
+            1 => self.calibration.sq_error(inst.qubits[0].min(self.coupling_qubits - 1)),
+            2 => self
+                .calibration
+                .cx_error(inst.qubits[0], inst.qubits[1])
+                .unwrap_or(self.default_cx_error),
+            _ => self.default_cx_error * 3.0,
+        }
+    }
+
+    /// The probability of flipping the measured bit of the given qubit.
+    pub fn readout_error(&self, qubit: usize) -> f64 {
+        self.calibration.readout_error(qubit.min(self.coupling_qubits - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nassc_circuit::Gate;
+
+    #[test]
+    fn calibration_errors_are_exposed_per_gate() {
+        let map = CouplingMap::ibmq_montreal();
+        let cal = Calibration::synthetic(&map, 3);
+        let model = NoiseModel::from_calibration(&map, cal.clone());
+        let cx = Instruction::new(Gate::Cx, vec![0, 1]);
+        assert!((model.gate_error(&cx) - cal.cx_error(0, 1).unwrap()).abs() < 1e-12);
+        let h = Instruction::new(Gate::H, vec![5]);
+        assert!(model.gate_error(&h) > 0.0);
+        assert!(model.gate_error(&h) < model.gate_error(&cx));
+    }
+
+    #[test]
+    fn non_edge_cx_uses_worst_case_error() {
+        let map = CouplingMap::linear(4);
+        let cal = Calibration::uniform(&map, 0.02, 0.01);
+        let model = NoiseModel::from_calibration(&map, cal);
+        let far = Instruction::new(Gate::Cx, vec![0, 3]);
+        assert!((model.gate_error(&far) - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noiseless_model_has_zero_errors() {
+        let model = NoiseModel::noiseless(5);
+        let cx = Instruction::new(Gate::Cx, vec![0, 1]);
+        assert_eq!(model.gate_error(&cx), 0.0);
+        assert_eq!(model.readout_error(3), 0.0);
+    }
+
+    #[test]
+    fn measurements_carry_no_gate_error() {
+        let map = CouplingMap::linear(3);
+        let model = NoiseModel::from_calibration(&map, Calibration::uniform(&map, 0.05, 0.04));
+        let m = Instruction::new(Gate::Measure, vec![0]);
+        assert_eq!(model.gate_error(&m), 0.0);
+        assert!((model.readout_error(0) - 0.04).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,281 @@
+//! Dense state-vector simulation with Monte-Carlo Pauli noise.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use nassc_circuit::{apply_instruction, Gate, Instruction, QuantumCircuit};
+use nassc_math::C64;
+
+use crate::noise::NoiseModel;
+
+/// Maximum number of *active* qubits the dense simulator accepts.
+const MAX_ACTIVE_QUBITS: usize = 22;
+
+/// A circuit restricted to the qubits it actually touches, so wide device
+/// circuits (e.g. routed onto 27 physical qubits) stay simulable.
+#[derive(Debug, Clone)]
+pub struct CompactCircuit {
+    circuit: QuantumCircuit,
+    /// `active[i]` is the original index of compact qubit `i`.
+    active: Vec<usize>,
+    /// Compact indices of measured qubits, in measurement order.
+    measured: Vec<usize>,
+}
+
+impl CompactCircuit {
+    /// Restricts a circuit to its active qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when more than [`MAX_ACTIVE_QUBITS`] qubits are touched.
+    pub fn new(circuit: &QuantumCircuit) -> Self {
+        let active = circuit.active_qubits();
+        assert!(
+            active.len() <= MAX_ACTIVE_QUBITS,
+            "circuit touches {} qubits; the dense simulator supports at most {MAX_ACTIVE_QUBITS}",
+            active.len()
+        );
+        let index_of = |q: usize| active.binary_search(&q).expect("active qubit");
+        let compact = circuit.map_qubits(active.len().max(1), index_of);
+        let mut measured: Vec<usize> = compact
+            .iter()
+            .filter(|i| i.gate == Gate::Measure)
+            .map(|i| i.qubits[0])
+            .collect();
+        if measured.is_empty() {
+            measured = (0..active.len()).collect();
+        }
+        measured.sort_unstable();
+        measured.dedup();
+        Self { circuit: compact, active, measured }
+    }
+
+    /// The number of active (simulated) qubits.
+    pub fn num_active(&self) -> usize {
+        self.active.len()
+    }
+
+    /// The compact circuit itself.
+    pub fn circuit(&self) -> &QuantumCircuit {
+        &self.circuit
+    }
+
+    /// The original indices of the active qubits.
+    pub fn active_qubits(&self) -> &[usize] {
+        &self.active
+    }
+
+    /// The original index of a compact qubit.
+    pub fn original_of(&self, compact: usize) -> usize {
+        self.active[compact]
+    }
+}
+
+/// Runs the circuit without noise and returns the probability of every
+/// measured-bitstring outcome (keyed by the packed bits of the measured
+/// qubits, least-significant = lowest measured qubit).
+pub fn ideal_distribution(circuit: &QuantumCircuit) -> HashMap<u64, f64> {
+    let compact = CompactCircuit::new(circuit);
+    let n = compact.num_active().max(1);
+    let mut state = vec![C64::zero(); 1 << n];
+    state[0] = C64::one();
+    for inst in compact.circuit().iter() {
+        if inst.gate == Gate::Measure {
+            continue;
+        }
+        apply_instruction(&mut state, n, inst);
+    }
+    let mut out: HashMap<u64, f64> = HashMap::new();
+    for (idx, amp) in state.iter().enumerate() {
+        let p = amp.norm_sqr();
+        if p < 1e-12 {
+            continue;
+        }
+        let key = pack_measured(idx, &compact.measured);
+        *out.entry(key).or_insert(0.0) += p;
+    }
+    out
+}
+
+/// The most probable measured bitstring of the noiseless circuit.
+pub fn ideal_most_likely(circuit: &QuantumCircuit) -> u64 {
+    ideal_distribution(circuit)
+        .into_iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite probabilities"))
+        .map(|(bits, _)| bits)
+        .unwrap_or(0)
+}
+
+/// Samples `shots` noisy executions of the circuit, returning a histogram of
+/// measured bitstrings. Noise is injected as a uniformly random Pauli on the
+/// gate's qubits with the model's per-gate probability, plus independent
+/// readout bit-flips.
+pub fn noisy_counts(
+    circuit: &QuantumCircuit,
+    noise: &NoiseModel,
+    shots: usize,
+    seed: u64,
+) -> HashMap<u64, usize> {
+    let compact = CompactCircuit::new(circuit);
+    let n = compact.num_active().max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counts: HashMap<u64, usize> = HashMap::new();
+
+    for _ in 0..shots {
+        let mut state = vec![C64::zero(); 1 << n];
+        state[0] = C64::one();
+        for inst in compact.circuit().iter() {
+            if inst.gate == Gate::Measure {
+                continue;
+            }
+            apply_instruction(&mut state, n, inst);
+            // Probability comes from the *original* physical qubits.
+            let original = inst.map_qubits(|q| compact.original_of(q));
+            let p_err = noise.gate_error(&original);
+            if p_err > 0.0 && rng.gen_bool(p_err.min(1.0)) {
+                for &q in &inst.qubits {
+                    match rng.gen_range(0..3) {
+                        0 => apply_instruction(&mut state, n, &Instruction::new(Gate::X, vec![q])),
+                        1 => apply_instruction(&mut state, n, &Instruction::new(Gate::Y, vec![q])),
+                        _ => apply_instruction(&mut state, n, &Instruction::new(Gate::Z, vec![q])),
+                    }
+                }
+            }
+        }
+        // Sample one basis state from the final distribution.
+        let mut r: f64 = rng.gen();
+        let mut sampled = 0usize;
+        for (idx, amp) in state.iter().enumerate() {
+            r -= amp.norm_sqr();
+            if r <= 0.0 {
+                sampled = idx;
+                break;
+            }
+        }
+        // Readout errors flip measured bits independently.
+        let mut bits = pack_measured(sampled, &compact.measured);
+        for (pos, &compact_q) in compact.measured.iter().enumerate() {
+            let p_flip = noise.readout_error(compact.original_of(compact_q));
+            if p_flip > 0.0 && rng.gen_bool(p_flip.min(1.0)) {
+                bits ^= 1 << pos;
+            }
+        }
+        *counts.entry(bits).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// The paper's Figure 11(b) metric: the fraction of noisy shots returning
+/// the noiseless circuit's most likely outcome.
+pub fn success_rate(circuit: &QuantumCircuit, noise: &NoiseModel, shots: usize, seed: u64) -> f64 {
+    let target = ideal_most_likely(circuit);
+    let counts = noisy_counts(circuit, noise, shots, seed);
+    let hits = counts.get(&target).copied().unwrap_or(0);
+    hits as f64 / shots as f64
+}
+
+/// Packs the bits of `basis_index` belonging to the measured qubits.
+fn pack_measured(basis_index: usize, measured: &[usize]) -> u64 {
+    let mut out = 0u64;
+    for (pos, &q) in measured.iter().enumerate() {
+        if (basis_index >> q) & 1 == 1 {
+            out |= 1 << pos;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nassc_topology::{Calibration, CouplingMap};
+
+    #[test]
+    fn compaction_drops_untouched_wires() {
+        let mut qc = QuantumCircuit::new(27);
+        qc.h(3).cx(3, 7).measure(3).measure(7);
+        let compact = CompactCircuit::new(&qc);
+        assert_eq!(compact.num_active(), 2);
+        assert_eq!(compact.active_qubits(), &[3, 7]);
+    }
+
+    #[test]
+    fn ideal_distribution_of_bell_pair() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).cx(0, 1).measure(0).measure(1);
+        let dist = ideal_distribution(&qc);
+        assert_eq!(dist.len(), 2);
+        assert!((dist[&0b00] - 0.5).abs() < 1e-9);
+        assert!((dist[&0b11] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_circuit_has_full_success_without_noise() {
+        let mut qc = QuantumCircuit::new(3);
+        qc.x(0).cx(0, 1).cx(1, 2).measure(0).measure(1).measure(2);
+        let noise = NoiseModel::noiseless(3);
+        let rate = success_rate(&qc, &noise, 200, 1);
+        assert!((rate - 1.0).abs() < 1e-9);
+        assert_eq!(ideal_most_likely(&qc), 0b111);
+    }
+
+    #[test]
+    fn noise_reduces_success_rate() {
+        let map = CouplingMap::linear(5);
+        let cal = Calibration::uniform(&map, 0.05, 0.05);
+        let noise = NoiseModel::from_calibration(&map, cal);
+        let mut qc = QuantumCircuit::new(5);
+        qc.x(0);
+        for i in 0..4 {
+            qc.cx(i, i + 1);
+        }
+        for q in 0..5 {
+            qc.measure(q);
+        }
+        let rate = success_rate(&qc, &noise, 400, 7);
+        assert!(rate < 0.99, "noise should reduce success, got {rate}");
+        assert!(rate > 0.3, "noise unrealistically destructive, got {rate}");
+    }
+
+    #[test]
+    fn deeper_circuits_have_lower_success() {
+        let map = CouplingMap::linear(4);
+        let cal = Calibration::uniform(&map, 0.03, 0.02);
+        let noise = NoiseModel::from_calibration(&map, cal);
+        let mut shallow = QuantumCircuit::new(4);
+        shallow.x(0).cx(0, 1).measure(0).measure(1);
+        let mut deep = QuantumCircuit::new(4);
+        deep.x(0);
+        for _ in 0..8 {
+            deep.cx(0, 1).cx(1, 2).cx(2, 3).cx(2, 3).cx(1, 2).cx(0, 1);
+        }
+        deep.measure(0).measure(1);
+        let shallow_rate = success_rate(&shallow, &noise, 600, 3);
+        let deep_rate = success_rate(&deep, &noise, 600, 3);
+        assert!(shallow_rate > deep_rate, "{shallow_rate} vs {deep_rate}");
+    }
+
+    #[test]
+    fn counts_sum_to_shots() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).cx(0, 1).measure(0).measure(1);
+        let noise = NoiseModel::noiseless(2);
+        let counts = noisy_counts(&qc, &noise, 128, 9);
+        assert_eq!(counts.values().sum::<usize>(), 128);
+    }
+
+    #[test]
+    fn readout_error_alone_flips_bits() {
+        let map = CouplingMap::linear(2);
+        // Readout error only, no gate error.
+        let cal = Calibration::uniform(&map, 0.0, 0.2);
+        let noise = NoiseModel::from_calibration(&map, cal);
+        let mut qc = QuantumCircuit::new(2);
+        qc.measure(0).measure(1);
+        let rate = success_rate(&qc, &noise, 1000, 11);
+        // Success requires both readouts correct: ≈ 0.8².
+        assert!((rate - 0.64).abs() < 0.08, "got {rate}");
+    }
+}

@@ -1,0 +1,327 @@
+//! Hardware coupling maps.
+
+use crate::distance::DistanceMatrix;
+
+/// The qubit-connectivity graph of a quantum device.
+///
+/// Connectivity is treated as undirected (the IBM basis supports CNOTs in
+/// both directions after adding Hadamards, and the paper's cost model counts
+/// CNOTs independent of direction).
+///
+/// # Example
+///
+/// ```
+/// use nassc_topology::CouplingMap;
+///
+/// let line = CouplingMap::linear(4);
+/// assert!(line.are_connected(1, 2));
+/// assert!(!line.are_connected(0, 3));
+/// assert_eq!(line.distance_matrix().hops(0, 3), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CouplingMap {
+    num_qubits: usize,
+    edges: Vec<(usize, usize)>,
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl CouplingMap {
+    /// Creates a coupling map from an undirected edge list.
+    ///
+    /// Edges are normalised to `(min, max)` and deduplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an edge references a qubit `>= num_qubits` or is a
+    /// self-loop.
+    pub fn new(num_qubits: usize, edges: &[(usize, usize)]) -> Self {
+        let mut normalized: Vec<(usize, usize)> = Vec::new();
+        let mut adjacency = vec![Vec::new(); num_qubits];
+        for &(a, b) in edges {
+            assert!(a < num_qubits && b < num_qubits, "edge ({a},{b}) out of range");
+            assert_ne!(a, b, "self-loop edge ({a},{b}) is not allowed");
+            let e = (a.min(b), a.max(b));
+            if !normalized.contains(&e) {
+                normalized.push(e);
+                adjacency[a].push(b);
+                adjacency[b].push(a);
+            }
+        }
+        for neighbors in &mut adjacency {
+            neighbors.sort_unstable();
+        }
+        Self { num_qubits, edges: normalized, adjacency }
+    }
+
+    /// A 1-D nearest-neighbour chain of `n` qubits.
+    pub fn linear(n: usize) -> Self {
+        let edges: Vec<(usize, usize)> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        Self::new(n, &edges)
+    }
+
+    /// A `rows × cols` 2-D grid.
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let q = r * cols + c;
+                if c + 1 < cols {
+                    edges.push((q, q + 1));
+                }
+                if r + 1 < rows {
+                    edges.push((q, q + cols));
+                }
+            }
+        }
+        Self::new(rows * cols, &edges)
+    }
+
+    /// A fully connected device of `n` qubits.
+    pub fn fully_connected(n: usize) -> Self {
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                edges.push((a, b));
+            }
+        }
+        Self::new(n, &edges)
+    }
+
+    /// The 27-qubit heavy-hex coupling map of `ibmq_montreal` (IBM Falcon),
+    /// as used throughout the paper's evaluation.
+    pub fn ibmq_montreal() -> Self {
+        let edges = [
+            (0, 1),
+            (1, 2),
+            (1, 4),
+            (2, 3),
+            (3, 5),
+            (4, 7),
+            (5, 8),
+            (6, 7),
+            (7, 10),
+            (8, 9),
+            (8, 11),
+            (10, 12),
+            (11, 14),
+            (12, 13),
+            (12, 15),
+            (13, 14),
+            (14, 16),
+            (15, 18),
+            (16, 19),
+            (17, 18),
+            (18, 21),
+            (19, 20),
+            (19, 22),
+            (21, 23),
+            (22, 25),
+            (23, 24),
+            (24, 25),
+            (25, 26),
+        ];
+        Self::new(27, &edges)
+    }
+
+    /// The number of qubits (nodes).
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The undirected edge list, each edge as `(min, max)`.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// The neighbours of a physical qubit.
+    pub fn neighbors(&self, qubit: usize) -> &[usize] {
+        &self.adjacency[qubit]
+    }
+
+    /// The degree of a physical qubit.
+    pub fn degree(&self, qubit: usize) -> usize {
+        self.adjacency[qubit].len()
+    }
+
+    /// Whether two physical qubits share an edge.
+    pub fn are_connected(&self, a: usize, b: usize) -> bool {
+        self.adjacency[a].binary_search(&b).is_ok()
+    }
+
+    /// Whether the graph is connected.
+    pub fn is_connected(&self) -> bool {
+        if self.num_qubits == 0 {
+            return true;
+        }
+        let d = self.distance_matrix();
+        (0..self.num_qubits).all(|q| d.hops(0, q) != usize::MAX)
+    }
+
+    /// The all-pairs shortest-path (hop-count) distance matrix via BFS.
+    pub fn distance_matrix(&self) -> DistanceMatrix {
+        let n = self.num_qubits;
+        let mut hops = vec![usize::MAX; n * n];
+        for source in 0..n {
+            let mut queue = std::collections::VecDeque::new();
+            hops[source * n + source] = 0;
+            queue.push_back(source);
+            while let Some(u) = queue.pop_front() {
+                let du = hops[source * n + u];
+                for &v in self.neighbors(u) {
+                    if hops[source * n + v] == usize::MAX {
+                        hops[source * n + v] = du + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        DistanceMatrix::from_hops(n, hops)
+    }
+
+    /// The graph diameter (longest shortest path). Returns `None` when the
+    /// graph is disconnected or empty.
+    pub fn diameter(&self) -> Option<usize> {
+        if self.num_qubits == 0 {
+            return None;
+        }
+        let d = self.distance_matrix();
+        let mut max = 0;
+        for i in 0..self.num_qubits {
+            for j in 0..self.num_qubits {
+                let h = d.hops(i, j);
+                if h == usize::MAX {
+                    return None;
+                }
+                max = max.max(h);
+            }
+        }
+        Some(max)
+    }
+
+    /// The shortest path between two physical qubits (inclusive of both
+    /// endpoints), or `None` when unreachable.
+    pub fn shortest_path(&self, from: usize, to: usize) -> Option<Vec<usize>> {
+        let n = self.num_qubits;
+        let mut prev = vec![usize::MAX; n];
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[from] = true;
+        queue.push_back(from);
+        while let Some(u) = queue.pop_front() {
+            if u == to {
+                break;
+            }
+            for &v in self.neighbors(u) {
+                if !seen[v] {
+                    seen[v] = true;
+                    prev[v] = u;
+                    queue.push_back(v);
+                }
+            }
+        }
+        if !seen[to] {
+            return None;
+        }
+        let mut path = vec![to];
+        let mut cur = to;
+        while cur != from {
+            cur = prev[cur];
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_structure() {
+        let line = CouplingMap::linear(5);
+        assert_eq!(line.num_qubits(), 5);
+        assert_eq!(line.edges().len(), 4);
+        assert_eq!(line.degree(0), 1);
+        assert_eq!(line.degree(2), 2);
+        assert_eq!(line.diameter(), Some(4));
+    }
+
+    #[test]
+    fn grid_structure() {
+        let grid = CouplingMap::grid(5, 5);
+        assert_eq!(grid.num_qubits(), 25);
+        assert_eq!(grid.edges().len(), 2 * 5 * 4);
+        assert_eq!(grid.diameter(), Some(8));
+        assert!(grid.are_connected(0, 1));
+        assert!(grid.are_connected(0, 5));
+        assert!(!grid.are_connected(0, 6));
+    }
+
+    #[test]
+    fn fully_connected_has_diameter_one() {
+        let full = CouplingMap::fully_connected(6);
+        assert_eq!(full.edges().len(), 15);
+        assert_eq!(full.diameter(), Some(1));
+    }
+
+    #[test]
+    fn montreal_is_the_published_heavy_hex() {
+        let m = CouplingMap::ibmq_montreal();
+        assert_eq!(m.num_qubits(), 27);
+        assert_eq!(m.edges().len(), 28);
+        assert!(m.is_connected());
+        // Heavy-hex degree profile: no qubit exceeds degree 3.
+        assert!((0..27).all(|q| m.degree(q) <= 3));
+        assert!(m.are_connected(0, 1));
+        assert!(m.are_connected(25, 26));
+        assert!(!m.are_connected(0, 26));
+    }
+
+    #[test]
+    fn distances_are_symmetric_and_triangle() {
+        let m = CouplingMap::ibmq_montreal();
+        let d = m.distance_matrix();
+        for i in 0..27 {
+            assert_eq!(d.hops(i, i), 0);
+            for j in 0..27 {
+                assert_eq!(d.hops(i, j), d.hops(j, i));
+                for k in 0..27 {
+                    assert!(d.hops(i, j) <= d.hops(i, k) + d.hops(k, j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_adjacency() {
+        let m = CouplingMap::grid(3, 3);
+        let p = m.shortest_path(0, 8).unwrap();
+        assert_eq!(p.first(), Some(&0));
+        assert_eq!(p.last(), Some(&8));
+        assert_eq!(p.len(), m.distance_matrix().hops(0, 8) + 1);
+        for w in p.windows(2) {
+            assert!(m.are_connected(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn duplicate_edges_are_ignored() {
+        let m = CouplingMap::new(3, &[(0, 1), (1, 0), (1, 2)]);
+        assert_eq!(m.edges().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let _ = CouplingMap::new(3, &[(1, 1)]);
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let m = CouplingMap::new(4, &[(0, 1), (2, 3)]);
+        assert!(!m.is_connected());
+        assert_eq!(m.diameter(), None);
+        assert_eq!(m.shortest_path(0, 3), None);
+    }
+}

@@ -1,0 +1,97 @@
+//! All-pairs distance matrices (hop count and noise-aware weights).
+
+/// An all-pairs distance matrix over the physical qubits of a device.
+///
+/// Two views are provided: integer hop counts (the plain SABRE distance) and
+/// floating-point weights (used by the noise-aware HA-style distance of
+/// Eq. 3 in the paper, where an edge's weight mixes its error rate, duration
+/// and unit distance).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceMatrix {
+    n: usize,
+    hops: Vec<usize>,
+    weights: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Builds a matrix from BFS hop counts; weights default to the hop count.
+    pub fn from_hops(n: usize, hops: Vec<usize>) -> Self {
+        assert_eq!(hops.len(), n * n);
+        let weights = hops
+            .iter()
+            .map(|&h| if h == usize::MAX { f64::INFINITY } else { h as f64 })
+            .collect();
+        Self { n, hops, weights }
+    }
+
+    /// Builds a matrix from explicit floating-point weights, deriving the hop
+    /// view by rounding (used only for display; routing reads `weight`).
+    pub fn from_weights(n: usize, weights: Vec<f64>) -> Self {
+        assert_eq!(weights.len(), n * n);
+        let hops = weights
+            .iter()
+            .map(|&w| if w.is_finite() { w.round() as usize } else { usize::MAX })
+            .collect();
+        Self { n, hops, weights }
+    }
+
+    /// The number of physical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Hop-count distance between two physical qubits
+    /// (`usize::MAX` when unreachable).
+    pub fn hops(&self, a: usize, b: usize) -> usize {
+        self.hops[a * self.n + b]
+    }
+
+    /// Weighted distance between two physical qubits.
+    pub fn weight(&self, a: usize, b: usize) -> f64 {
+        self.weights[a * self.n + b]
+    }
+
+    /// Replaces the weighted view while keeping the hop view.
+    pub fn with_weights(mut self, weights: Vec<f64>) -> Self {
+        assert_eq!(weights.len(), self.n * self.n);
+        self.weights = weights;
+        self
+    }
+
+    /// The largest finite hop count in the matrix.
+    pub fn max_hops(&self) -> usize {
+        self.hops.iter().copied().filter(|&h| h != usize::MAX).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hop_and_weight_views_agree_by_default() {
+        let d = DistanceMatrix::from_hops(2, vec![0, 3, 3, 0]);
+        assert_eq!(d.hops(0, 1), 3);
+        assert!((d.weight(0, 1) - 3.0).abs() < 1e-12);
+        assert_eq!(d.max_hops(), 3);
+    }
+
+    #[test]
+    fn unreachable_is_infinite_weight() {
+        let d = DistanceMatrix::from_hops(2, vec![0, usize::MAX, usize::MAX, 0]);
+        assert!(d.weight(0, 1).is_infinite());
+    }
+
+    #[test]
+    fn weights_can_be_overridden() {
+        let d = DistanceMatrix::from_hops(2, vec![0, 1, 1, 0]).with_weights(vec![0.0, 2.5, 2.5, 0.0]);
+        assert_eq!(d.hops(0, 1), 1);
+        assert!((d.weight(0, 1) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_weights_rounds_for_hops() {
+        let d = DistanceMatrix::from_weights(2, vec![0.0, 1.9, 1.9, 0.0]);
+        assert_eq!(d.hops(0, 1), 2);
+    }
+}

@@ -1,0 +1,187 @@
+//! Logical-to-physical qubit layouts.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A bijective mapping between the logical qubits of a circuit and the
+/// physical qubits of a device.
+///
+/// Both directions are kept in sync so lookups are O(1) either way, and
+/// [`Layout::swap_physical`] applies the effect of a SWAP gate on two
+/// physical qubits — the operation routing performs constantly.
+///
+/// The layout always covers *all* physical qubits; circuits narrower than
+/// the device get the extra physical qubits bound to unused logical indices
+/// (`num_logical..num_physical`), mirroring how Qiskit pads ancillas.
+///
+/// # Example
+///
+/// ```
+/// use nassc_topology::Layout;
+///
+/// let mut layout = Layout::trivial(3);
+/// layout.swap_physical(0, 2);
+/// assert_eq!(layout.physical_of(0), 2);
+/// assert_eq!(layout.logical_of(0), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layout {
+    logical_to_physical: Vec<usize>,
+    physical_to_logical: Vec<usize>,
+}
+
+impl Layout {
+    /// The identity layout on `n` qubits (logical `i` → physical `i`).
+    pub fn trivial(n: usize) -> Self {
+        Self {
+            logical_to_physical: (0..n).collect(),
+            physical_to_logical: (0..n).collect(),
+        }
+    }
+
+    /// Builds a layout from a logical→physical assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the assignment is not a permutation of `0..n`.
+    pub fn from_logical_to_physical(assignment: Vec<usize>) -> Self {
+        let n = assignment.len();
+        let mut physical_to_logical = vec![usize::MAX; n];
+        for (logical, &physical) in assignment.iter().enumerate() {
+            assert!(physical < n, "physical qubit {physical} out of range");
+            assert_eq!(
+                physical_to_logical[physical],
+                usize::MAX,
+                "physical qubit {physical} assigned twice"
+            );
+            physical_to_logical[physical] = logical;
+        }
+        Self { logical_to_physical: assignment, physical_to_logical }
+    }
+
+    /// A uniformly random layout over `n` qubits.
+    pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        let mut assignment: Vec<usize> = (0..n).collect();
+        assignment.shuffle(rng);
+        Self::from_logical_to_physical(assignment)
+    }
+
+    /// The number of qubits covered.
+    pub fn len(&self) -> usize {
+        self.logical_to_physical.len()
+    }
+
+    /// Returns `true` for the empty layout.
+    pub fn is_empty(&self) -> bool {
+        self.logical_to_physical.is_empty()
+    }
+
+    /// The physical qubit currently holding logical qubit `logical`.
+    pub fn physical_of(&self, logical: usize) -> usize {
+        self.logical_to_physical[logical]
+    }
+
+    /// The logical qubit currently held by physical qubit `physical`.
+    pub fn logical_of(&self, physical: usize) -> usize {
+        self.physical_to_logical[physical]
+    }
+
+    /// The full logical→physical assignment.
+    pub fn logical_to_physical(&self) -> &[usize] {
+        &self.logical_to_physical
+    }
+
+    /// The full physical→logical assignment.
+    pub fn physical_to_logical(&self) -> &[usize] {
+        &self.physical_to_logical
+    }
+
+    /// Applies a SWAP between two *physical* qubits (the routing primitive).
+    pub fn swap_physical(&mut self, a: usize, b: usize) {
+        let la = self.physical_to_logical[a];
+        let lb = self.physical_to_logical[b];
+        self.physical_to_logical.swap(a, b);
+        self.logical_to_physical[la] = b;
+        self.logical_to_physical[lb] = a;
+    }
+
+    /// The composition "apply `self`, then read through `other`" is not
+    /// needed; what routing needs is the permutation from this layout to
+    /// another one over the same qubits: `result[l] = other.physical_of(l)`
+    /// read back through `self`. Concretely, returns for every *physical*
+    /// qubit of `self` the physical qubit of `other` holding the same
+    /// logical qubit. Used to express the final permutation a routed circuit
+    /// applies to its wires.
+    pub fn permutation_to(&self, other: &Layout) -> Vec<usize> {
+        assert_eq!(self.len(), other.len());
+        (0..self.len())
+            .map(|physical| {
+                let logical = self.logical_of(physical);
+                other.physical_of(logical)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trivial_layout_is_identity() {
+        let l = Layout::trivial(4);
+        for q in 0..4 {
+            assert_eq!(l.physical_of(q), q);
+            assert_eq!(l.logical_of(q), q);
+        }
+    }
+
+    #[test]
+    fn swap_physical_updates_both_views() {
+        let mut l = Layout::trivial(4);
+        l.swap_physical(1, 3);
+        assert_eq!(l.physical_of(1), 3);
+        assert_eq!(l.physical_of(3), 1);
+        assert_eq!(l.logical_of(3), 1);
+        assert_eq!(l.logical_of(1), 3);
+        // Unaffected qubits stay.
+        assert_eq!(l.physical_of(0), 0);
+    }
+
+    #[test]
+    fn from_assignment_roundtrips() {
+        let l = Layout::from_logical_to_physical(vec![2, 0, 1]);
+        assert_eq!(l.physical_of(0), 2);
+        assert_eq!(l.logical_of(2), 0);
+        assert_eq!(l.logical_of(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned twice")]
+    fn non_permutation_panics() {
+        let _ = Layout::from_logical_to_physical(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn random_layout_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let l = Layout::random(10, &mut rng);
+        let mut seen = vec![false; 10];
+        for q in 0..10 {
+            seen[l.physical_of(q)] = true;
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn permutation_between_layouts() {
+        let a = Layout::trivial(3);
+        let mut b = Layout::trivial(3);
+        b.swap_physical(0, 2);
+        let perm = a.permutation_to(&b);
+        // Logical 0 sits on physical 0 in `a` and physical 2 in `b`.
+        assert_eq!(perm, vec![2, 1, 0]);
+    }
+}

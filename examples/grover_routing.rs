@@ -1,0 +1,50 @@
+//! Routing a Grover benchmark onto the three evaluation topologies and
+//! comparing SABRE with NASSC on each.
+//!
+//! Run with: `cargo run --release --example grover_routing`
+
+use nassc::{optimize_without_routing, transpile, TranspileOptions};
+use nassc_benchmarks::grover;
+use nassc_topology::CouplingMap;
+
+fn main() {
+    let circuit = grover(6);
+    let baseline = optimize_without_routing(&circuit).expect("baseline");
+    println!(
+        "Grover (6 qubits): {} CNOTs, depth {} before routing\n",
+        baseline.cx_count(),
+        baseline.depth()
+    );
+
+    let devices = [
+        ("ibmq_montreal (heavy-hex)", CouplingMap::ibmq_montreal()),
+        ("25-qubit line", CouplingMap::linear(25)),
+        ("5x5 grid", CouplingMap::grid(5, 5)),
+    ];
+    println!(
+        "{:<28} {:>11} {:>11} {:>10}",
+        "topology", "SABRE CNOTs", "NASSC CNOTs", "reduction"
+    );
+    for (name, device) in devices {
+        let mut sabre_cx = 0usize;
+        let mut nassc_cx = 0usize;
+        let runs = 3;
+        for seed in 0..runs {
+            sabre_cx += transpile(&circuit, &device, &TranspileOptions::sabre(seed))
+                .expect("sabre")
+                .cx_count();
+            nassc_cx += transpile(&circuit, &device, &TranspileOptions::nassc(seed))
+                .expect("nassc")
+                .cx_count();
+        }
+        let sabre_avg = sabre_cx as f64 / runs as f64;
+        let nassc_avg = nassc_cx as f64 / runs as f64;
+        println!(
+            "{:<28} {:>11.1} {:>11.1} {:>9.1}%",
+            name,
+            sabre_avg,
+            nassc_avg,
+            100.0 * (1.0 - nassc_avg / sabre_avg)
+        );
+    }
+}

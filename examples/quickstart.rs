@@ -1,0 +1,44 @@
+//! Quickstart: build a circuit, transpile it with SABRE and with NASSC, and
+//! compare the CNOT overhead.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use nassc::{optimize_without_routing, transpile, TranspileOptions};
+use nassc_circuit::QuantumCircuit;
+use nassc_topology::CouplingMap;
+
+fn main() {
+    // A small entangling circuit whose connectivity does not match a line.
+    let mut circuit = QuantumCircuit::new(5);
+    circuit.h(0);
+    for i in 0..4 {
+        circuit.cx(i, i + 1);
+    }
+    circuit.cx(0, 4).cx(1, 3).cx(0, 2);
+
+    let device = CouplingMap::linear(5);
+    let baseline = optimize_without_routing(&circuit).expect("baseline optimization");
+    println!("original circuit: {} CNOTs, depth {}", baseline.cx_count(), baseline.depth());
+
+    let sabre = transpile(&circuit, &device, &TranspileOptions::sabre(7)).expect("sabre");
+    let nassc = transpile(&circuit, &device, &TranspileOptions::nassc(7)).expect("nassc");
+
+    println!(
+        "Qiskit+SABRE : {} CNOTs ({} added), depth {}, {} SWAPs inserted",
+        sabre.cx_count(),
+        sabre.cx_count() - baseline.cx_count(),
+        sabre.depth(),
+        sabre.swap_count
+    );
+    println!(
+        "Qiskit+NASSC : {} CNOTs ({} added), depth {}, {} SWAPs inserted",
+        nassc.cx_count(),
+        nassc.cx_count() - baseline.cx_count(),
+        nassc.depth(),
+        nassc.swap_count
+    );
+    println!(
+        "NASSC saves {} CNOTs on this routing problem.",
+        sabre.cx_count().saturating_sub(nassc.cx_count())
+    );
+}

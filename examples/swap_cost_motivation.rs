@@ -1,0 +1,47 @@
+//! The paper's motivating observation (Figures 1, 3 and 4): not all SWAPs
+//! cost three CNOTs once the optimizer has run.
+//!
+//! Run with: `cargo run --example swap_cost_motivation`
+
+use nassc_circuit::QuantumCircuit;
+use nassc_math::Matrix4;
+use nassc_passes::standard_optimization_pipeline;
+use nassc_synthesis::two_qubit_cnot_cost;
+
+fn main() {
+    // A SWAP in isolation really does cost three CNOTs.
+    let lone_swap = two_qubit_cnot_cost(&Matrix4::swap()).expect("decomposition");
+    println!("SWAP alone                      : {lone_swap} CNOTs");
+
+    // Merged with a neighbouring CNOT (Figure 1b / Figure 3), re-synthesis of
+    // the two-qubit block needs only two CNOTs — the SWAP costs one extra.
+    let merged = Matrix4::swap().mul(&Matrix4::cnot());
+    let merged_cost = two_qubit_cnot_cost(&merged).expect("decomposition");
+    println!("SWAP merged with a CNOT block   : {merged_cost} CNOTs (1 extra)");
+
+    // Next to a generic three-CNOT block the SWAP is free.
+    let mut block = QuantumCircuit::new(2);
+    block.cx(0, 1).rz(0.31, 1).ry(0.7, 0).cx(1, 0).rz(0.9, 0).cx(0, 1).ry(1.2, 1);
+    block.swap(0, 1);
+    let optimized = standard_optimization_pipeline().run(&block).expect("optimization");
+    println!(
+        "SWAP appended to a 3-CNOT block : {} CNOTs after re-synthesis (0 extra)",
+        optimized.cx_count()
+    );
+
+    // Figure 4: with the right decomposition orientation a SWAP's first CNOT
+    // cancels against a commuting CNOT already in the circuit.
+    let mut cancellation = QuantumCircuit::new(3);
+    cancellation.cx(2, 1); // original gate
+    cancellation.cx(1, 2).cx(2, 1).cx(1, 2); // badly oriented SWAP
+    let bad = standard_optimization_pipeline().run(&cancellation).expect("optimization");
+    let mut oriented = QuantumCircuit::new(3);
+    oriented.cx(2, 1);
+    oriented.cx(2, 1).cx(1, 2).cx(2, 1); // optimization-aware orientation
+    let good = standard_optimization_pipeline().run(&oriented).expect("optimization");
+    println!(
+        "SWAP after a commuting CNOT     : {} CNOTs with the fixed template, {} with the optimization-aware orientation",
+        bad.cx_count(),
+        good.cx_count()
+    );
+}

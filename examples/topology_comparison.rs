@@ -1,0 +1,47 @@
+//! How device connectivity shapes routing overhead: runs the QFT benchmark
+//! over progressively better-connected devices and reports NASSC's advantage
+//! on each (§VI-C's observation that sparser maps leave more room for
+//! optimization-aware routing).
+//!
+//! Run with: `cargo run --release --example topology_comparison`
+
+use nassc::{optimize_without_routing, transpile, TranspileOptions};
+use nassc_benchmarks::qft;
+use nassc_topology::CouplingMap;
+
+fn main() {
+    let circuit = qft(10);
+    let baseline = optimize_without_routing(&circuit).expect("baseline").cx_count();
+    println!("QFT-10: {baseline} CNOTs before routing\n");
+
+    let devices = [
+        ("linear-16", CouplingMap::linear(16)),
+        ("grid-4x4", CouplingMap::grid(4, 4)),
+        ("ibmq_montreal", CouplingMap::ibmq_montreal()),
+        ("fully connected", CouplingMap::fully_connected(16)),
+    ];
+
+    println!(
+        "{:<18} {:>9} {:>12} {:>12} {:>12}",
+        "topology", "diameter", "SABRE added", "NASSC added", "NASSC gain"
+    );
+    for (name, device) in devices {
+        let sabre = transpile(&circuit, &device, &TranspileOptions::sabre(5)).expect("sabre");
+        let nassc = transpile(&circuit, &device, &TranspileOptions::nassc(5)).expect("nassc");
+        let sabre_add = sabre.cx_count().saturating_sub(baseline);
+        let nassc_add = nassc.cx_count().saturating_sub(baseline);
+        let gain = if sabre_add == 0 {
+            0.0
+        } else {
+            100.0 * (1.0 - nassc_add as f64 / sabre_add as f64)
+        };
+        println!(
+            "{:<18} {:>9} {:>12} {:>12} {:>11.1}%",
+            name,
+            device.diameter().unwrap_or(0),
+            sabre_add,
+            nassc_add,
+            gain
+        );
+    }
+}

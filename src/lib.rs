@@ -1,0 +1,3 @@
+//! Umbrella crate: integration tests and examples for the NASSC reproduction.
+pub use nassc;
+
