@@ -11,7 +11,9 @@ fn synthesis_benchmarks(c: &mut Criterion) {
     c.bench_function("weyl_decompose_swap_cx", |b| {
         b.iter(|| WeylDecomposition::new(&swap_cx).unwrap())
     });
-    c.bench_function("cnot_cost_swap_cx", |b| b.iter(|| two_qubit_cnot_cost(&swap_cx).unwrap()));
+    c.bench_function("cnot_cost_swap_cx", |b| {
+        b.iter(|| two_qubit_cnot_cost(&swap_cx).unwrap())
+    });
     c.bench_function("synthesize_swap_cx", |b| {
         b.iter(|| synthesize_two_qubit(&swap_cx, 0, 1).unwrap())
     });

@@ -19,11 +19,21 @@ fn main() {
     println!("== Figure 11 — noise-aware routing on ibmq_montreal (shots = {shots}) ==");
     println!(
         "{:<16} {:>10} {:>10} {:>10} {:>10} | {:>8} {:>8} {:>8} {:>8}",
-        "benchmark", "SABRE+cx", "NASSC+cx", "S+HA+cx", "N+HA+cx", "S rate", "N rate", "S+HA", "N+HA"
+        "benchmark",
+        "SABRE+cx",
+        "NASSC+cx",
+        "S+HA+cx",
+        "N+HA+cx",
+        "S rate",
+        "N rate",
+        "S+HA",
+        "N+HA"
     );
     for bench in nassc_benchmarks::noise_benchmarks() {
         eprintln!("routing and simulating {}...", bench.name);
-        let baseline = optimize_without_routing(&bench.circuit).expect("baseline").cx_count();
+        let baseline = optimize_without_routing(&bench.circuit)
+            .expect("baseline")
+            .cx_count();
         let variants = [
             TranspileOptions::sabre(11),
             TranspileOptions::nassc(11),
@@ -39,7 +49,15 @@ fn main() {
         }
         println!(
             "{:<16} {:>10} {:>10} {:>10} {:>10} | {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
-            bench.name, added[0], added[1], added[2], added[3], rates[0], rates[1], rates[2], rates[3]
+            bench.name,
+            added[0],
+            added[1],
+            added[2],
+            added[3],
+            rates[0],
+            rates[1],
+            rates[2],
+            rates[3]
         );
     }
 }

@@ -14,14 +14,21 @@ fn main() {
     ];
     for (map_name, device) in maps {
         println!("\n== Figure 9 — {map_name} ==");
-        println!("{:<22} {:>12} {:>12} {:>14}", "benchmark", "best-of-8", "all-enabled", "best flags");
+        println!(
+            "{:<22} {:>12} {:>12} {:>14}",
+            "benchmark", "best-of-8", "all-enabled", "best flags"
+        );
         for bench in args.suite() {
             eprintln!("[{map_name}] sweeping {}...", bench.name);
             let sabre_cx: f64 = (0..args.runs)
                 .map(|r| {
-                    transpile(&bench.circuit, &device, &TranspileOptions::sabre(2000 + r as u64))
-                        .expect("sabre")
-                        .cx_count() as f64
+                    transpile(
+                        &bench.circuit,
+                        &device,
+                        &TranspileOptions::sabre(2000 + r as u64),
+                    )
+                    .expect("sabre")
+                    .cx_count() as f64
                 })
                 .sum::<f64>()
                 / args.runs as f64;
@@ -31,7 +38,9 @@ fn main() {
                 let cx: f64 = (0..args.runs)
                     .map(|r| {
                         let options = TranspileOptions::nassc_with_flags(2000 + r as u64, flags);
-                        transpile(&bench.circuit, &device, &options).expect("nassc").cx_count() as f64
+                        transpile(&bench.circuit, &device, &options)
+                            .expect("nassc")
+                            .cx_count() as f64
                     })
                     .sum::<f64>()
                     / args.runs as f64;

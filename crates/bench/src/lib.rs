@@ -115,7 +115,11 @@ pub fn geometric_mean_reduction(reductions: &[f64]) -> f64 {
 }
 
 /// Runs SABRE and NASSC on one benchmark, averaging over `runs` seeds.
-pub fn compare_benchmark(benchmark: &Benchmark, coupling: &CouplingMap, runs: usize) -> ComparisonRow {
+pub fn compare_benchmark(
+    benchmark: &Benchmark,
+    coupling: &CouplingMap,
+    runs: usize,
+) -> ComparisonRow {
     let original = optimize_without_routing(&benchmark.circuit).expect("baseline optimization");
     let mut sabre = RouterMetrics::default();
     let mut nassc = RouterMetrics::default();
@@ -186,8 +190,18 @@ pub fn print_cnot_table(title: &str, rows: &[ComparisonRow]) {
     println!("\n== {title} ==");
     println!(
         "{:<22} {:>3}  {:>9} | {:>10} {:>10} {:>8} | {:>10} {:>10} {:>8} | {:>8} {:>8} {:>6}",
-        "benchmark", "n", "CX_orig", "SABRE_tot", "SABRE_add", "t_S(s)", "NASSC_tot", "NASSC_add", "t_N(s)",
-        "dCX_tot", "dCX_add", "t_N/t_S"
+        "benchmark",
+        "n",
+        "CX_orig",
+        "SABRE_tot",
+        "SABRE_add",
+        "t_S(s)",
+        "NASSC_tot",
+        "NASSC_add",
+        "t_N(s)",
+        "dCX_tot",
+        "dCX_add",
+        "t_N/t_S"
     );
     for row in rows {
         let (sabre_add, nassc_add) = row.additional_cx();
@@ -221,7 +235,15 @@ pub fn print_depth_table(title: &str, rows: &[ComparisonRow]) {
     println!("\n== {title} ==");
     println!(
         "{:<22} {:>3}  {:>10} | {:>11} {:>11} | {:>11} {:>11} | {:>9} {:>9}",
-        "benchmark", "n", "depth_orig", "SABRE_tot", "SABRE_add", "NASSC_tot", "NASSC_add", "dD_tot", "dD_add"
+        "benchmark",
+        "n",
+        "depth_orig",
+        "SABRE_tot",
+        "SABRE_add",
+        "NASSC_tot",
+        "NASSC_add",
+        "dD_tot",
+        "dD_add"
     );
     for row in rows {
         let (sabre_add, nassc_add) = row.additional_depth();

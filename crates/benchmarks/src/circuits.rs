@@ -30,7 +30,8 @@ pub fn grover(n: usize) -> QuantumCircuit {
     for &q in &data {
         qc.h(q);
     }
-    let iterations = (((2f64.powi(data.len() as i32)).sqrt() * PI / 4.0).floor() as usize).clamp(1, 2);
+    let iterations =
+        (((2f64.powi(data.len() as i32)).sqrt() * PI / 4.0).floor() as usize).clamp(1, 2);
     for _ in 0..iterations {
         // Oracle: phase flip on the all-ones data state.
         mcz(&mut qc, &data, &[ancilla]);
@@ -140,7 +141,10 @@ pub fn qpe(n: usize) -> QuantumCircuit {
 /// A Cuccaro ripple-carry adder computing `b += a` with `(n - 2) / 2`-bit
 /// operands, one carry-in and one carry-out qubit (`n` qubits total).
 pub fn adder(n: usize) -> QuantumCircuit {
-    assert!(n >= 4 && n % 2 == 0, "adder needs an even number of qubits >= 4");
+    assert!(
+        n >= 4 && n.is_multiple_of(2),
+        "adder needs an even number of qubits >= 4"
+    );
     let bits = (n - 2) / 2;
     let mut qc = QuantumCircuit::new(n);
     // Register layout: carry-in = 0, a_i = 1 + 2i, b_i = 2 + 2i, carry-out = n-1.

@@ -20,7 +20,10 @@ use nassc_circuit::QuantumCircuit;
 pub fn mcx(circuit: &mut QuantumCircuit, controls: &[usize], target: usize, borrows: &[usize]) {
     for &c in controls {
         assert_ne!(c, target, "control {c} equals the target");
-        assert!(!borrows.contains(&c), "qubit {c} is both a control and a borrow");
+        assert!(
+            !borrows.contains(&c),
+            "qubit {c} is both a control and a borrow"
+        );
     }
     assert!(!borrows.contains(&target), "the target cannot be a borrow");
 
@@ -86,7 +89,11 @@ mod tests {
         let dim = u.dim();
         for col in 0..dim {
             let all_controls_set = controls.iter().all(|&c| (col >> c) & 1 == 1);
-            let expected_row = if all_controls_set { col ^ (1 << target) } else { col };
+            let expected_row = if all_controls_set {
+                col ^ (1 << target)
+            } else {
+                col
+            };
             assert!(
                 u.get(expected_row, col).abs() > 0.999,
                 "column {col} does not map to {expected_row}"
@@ -134,7 +141,11 @@ mod tests {
         let u = circuit_unitary(&qc);
         for col in 0..u.dim() {
             let all_ones = (col & 0b111) == 0b111;
-            let expected = if all_ones { C64::real(-1.0) } else { C64::one() };
+            let expected = if all_ones {
+                C64::real(-1.0)
+            } else {
+                C64::one()
+            };
             assert!(u.get(col, col).approx_eq(expected, 1e-6), "diag at {col}");
         }
     }

@@ -17,7 +17,11 @@ pub struct Benchmark {
 
 impl Benchmark {
     fn new(name: &'static str, circuit: QuantumCircuit) -> Self {
-        Self { name, qubits: circuit.num_qubits(), circuit }
+        Self {
+            name,
+            qubits: circuit.num_qubits(),
+            circuit,
+        }
     }
 }
 
@@ -79,7 +83,10 @@ mod tests {
         let suite = table_benchmarks();
         assert_eq!(suite.len(), 15);
         let widths: Vec<usize> = suite.iter().map(|b| b.qubits).collect();
-        assert_eq!(widths, vec![4, 6, 8, 8, 12, 19, 15, 20, 9, 10, 25, 10, 12, 15, 11]);
+        assert_eq!(
+            widths,
+            vec![4, 6, 8, 8, 12, 19, 15, 20, 9, 10, 25, 10, 12, 15, 11]
+        );
     }
 
     #[test]

@@ -32,7 +32,10 @@ pub struct QuantumCircuit {
 impl QuantumCircuit {
     /// Creates an empty circuit over `num_qubits` qubits.
     pub fn new(num_qubits: usize) -> Self {
-        Self { num_qubits, instructions: Vec::new() }
+        Self {
+            num_qubits,
+            instructions: Vec::new(),
+        }
     }
 
     /// The number of qubits.
@@ -88,7 +91,10 @@ impl QuantumCircuit {
     ///
     /// Panics if `other` uses more qubits than `self`.
     pub fn extend(&mut self, other: &QuantumCircuit) -> &mut Self {
-        assert!(other.num_qubits <= self.num_qubits, "composed circuit is too wide");
+        assert!(
+            other.num_qubits <= self.num_qubits,
+            "composed circuit is too wide"
+        );
         for inst in &other.instructions {
             self.push(inst.clone());
         }
@@ -101,7 +107,10 @@ impl QuantumCircuit {
     ///
     /// Panics if the mapping is shorter than `other`'s qubit count.
     pub fn compose_on(&mut self, other: &QuantumCircuit, qubits: &[usize]) -> &mut Self {
-        assert!(qubits.len() >= other.num_qubits(), "qubit mapping too short");
+        assert!(
+            qubits.len() >= other.num_qubits(),
+            "qubit mapping too short"
+        );
         for inst in &other.instructions {
             self.push(inst.map_qubits(|q| qubits[q]));
         }
@@ -152,17 +161,26 @@ impl QuantumCircuit {
 
     /// Number of CNOT gates.
     pub fn cx_count(&self) -> usize {
-        self.instructions.iter().filter(|i| i.gate == Gate::Cx).count()
+        self.instructions
+            .iter()
+            .filter(|i| i.gate == Gate::Cx)
+            .count()
     }
 
     /// Number of two-qubit unitary gates of any kind.
     pub fn two_qubit_gate_count(&self) -> usize {
-        self.instructions.iter().filter(|i| i.is_two_qubit()).count()
+        self.instructions
+            .iter()
+            .filter(|i| i.is_two_qubit())
+            .count()
     }
 
     /// Number of SWAP gates.
     pub fn swap_count(&self) -> usize {
-        self.instructions.iter().filter(|i| i.gate == Gate::Swap).count()
+        self.instructions
+            .iter()
+            .filter(|i| i.gate == Gate::Swap)
+            .count()
     }
 
     /// Circuit depth: the length of the longest qubit-dependency chain.
@@ -171,7 +189,11 @@ impl QuantumCircuit {
         let mut level = vec![0usize; self.num_qubits];
         for inst in &self.instructions {
             let max_in = inst.qubits.iter().map(|&q| level[q]).max().unwrap_or(0);
-            let new_level = if inst.gate.is_directive() { max_in } else { max_in + 1 };
+            let new_level = if inst.gate.is_directive() {
+                max_in
+            } else {
+                max_in + 1
+            };
             for &q in &inst.qubits {
                 level[q] = new_level;
             }
@@ -187,7 +209,10 @@ impl QuantumCircuit {
                 used[q] = true;
             }
         }
-        used.iter().enumerate().filter_map(|(q, &u)| if u { Some(q) } else { None }).collect()
+        used.iter()
+            .enumerate()
+            .filter_map(|(q, &u)| if u { Some(q) } else { None })
+            .collect()
     }
 
     /// A plain-text, OpenQASM-flavoured dump of the circuit, useful for

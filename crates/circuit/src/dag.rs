@@ -100,7 +100,10 @@ impl DagCircuit {
             });
         }
 
-        Self { num_qubits: circuit.num_qubits(), nodes }
+        Self {
+            num_qubits: circuit.num_qubits(),
+            nodes,
+        }
     }
 
     /// The number of qubits of the underlying circuit.
@@ -129,7 +132,11 @@ impl DagCircuit {
 
     /// Node ids with no predecessors — the initial front layer.
     pub fn front_layer(&self) -> Vec<usize> {
-        self.nodes.iter().filter(|n| n.preds.is_empty()).map(|n| n.id).collect()
+        self.nodes
+            .iter()
+            .filter(|n| n.preds.is_empty())
+            .map(|n| n.id)
+            .collect()
     }
 
     /// The in-degree (number of distinct predecessor nodes) of each node,
@@ -145,7 +152,11 @@ impl DagCircuit {
         let mut max = 0;
         for node in &self.nodes {
             let base = node.preds.iter().map(|&p| level[p]).max().unwrap_or(0);
-            let own = if node.instruction.gate.is_directive() { base } else { base + 1 };
+            let own = if node.instruction.gate.is_directive() {
+                base
+            } else {
+                base + 1
+            };
             level[node.id] = own;
             max = max.max(own);
         }

@@ -6,7 +6,7 @@
 //! listed qubit `a` is the *least significant* bit of the 4×4 matrix basis
 //! `|b a⟩`. Controlled gates list the control qubit first.
 
-use nassc_math::{C64, Matrix2, Matrix4};
+use nassc_math::{Matrix2, Matrix4, C64};
 use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
 
 /// A quantum gate (or the non-unitary `Measure`/`Barrier` markers).
@@ -267,10 +267,7 @@ impl Gate {
                 let s = C64::real((t / 2.0).sin());
                 Matrix2::new([[c, -s], [s, c]])
             }
-            Gate::Rz(t) => Matrix2::new([
-                [C64::exp_i(-t / 2.0), z],
-                [z, C64::exp_i(t / 2.0)],
-            ]),
+            Gate::Rz(t) => Matrix2::new([[C64::exp_i(-t / 2.0), z], [z, C64::exp_i(t / 2.0)]]),
             Gate::Phase(t) => Matrix2::new([[o, z], [z, C64::exp_i(*t)]]),
             Gate::U(theta, phi, lam) => u_matrix(*theta, *phi, *lam),
             Gate::Unitary1(m) => *m,
@@ -310,22 +307,12 @@ impl Gate {
             Gate::Rxx(t) => {
                 let c = C64::real((t / 2.0).cos());
                 let s = C64::new(0.0, -(t / 2.0).sin());
-                Matrix4::new([
-                    [c, z, z, s],
-                    [z, c, s, z],
-                    [z, s, c, z],
-                    [s, z, z, c],
-                ])
+                Matrix4::new([[c, z, z, s], [z, c, s, z], [z, s, c, z], [s, z, z, c]])
             }
             Gate::Rzz(t) => {
                 let e0 = C64::exp_i(-t / 2.0);
                 let e1 = C64::exp_i(t / 2.0);
-                Matrix4::new([
-                    [e0, z, z, z],
-                    [z, e1, z, z],
-                    [z, z, e1, z],
-                    [z, z, z, e0],
-                ])
+                Matrix4::new([[e0, z, z, z], [z, e1, z, z], [z, z, e1, z], [z, z, z, e0]])
             }
             Gate::Unitary2(m) => *m.clone(),
             _ => {
@@ -377,7 +364,13 @@ impl Gate {
     pub fn in_ibm_basis(&self) -> bool {
         matches!(
             self,
-            Gate::I | Gate::Rz(_) | Gate::Sx | Gate::X | Gate::Cx | Gate::Measure | Gate::Barrier(_)
+            Gate::I
+                | Gate::Rz(_)
+                | Gate::Sx
+                | Gate::X
+                | Gate::Cx
+                | Gate::Measure
+                | Gate::Barrier(_)
         )
     }
 }
@@ -435,7 +428,8 @@ mod tests {
             let m = g.matrix2().unwrap();
             let mi = g.inverse().matrix2().unwrap();
             assert!(
-                m.mul(&mi).approx_eq_up_to_phase(&Matrix2::identity(), 1e-10),
+                m.mul(&mi)
+                    .approx_eq_up_to_phase(&Matrix2::identity(), 1e-10),
                 "{} inverse failed",
                 g.name()
             );
@@ -444,12 +438,18 @@ mod tests {
 
     #[test]
     fn gate_inverses_multiply_to_identity_2q() {
-        let gates = [Gate::Crx(0.7), Gate::Cp(1.3), Gate::Rzz(0.4), Gate::Rxx(-0.8)];
+        let gates = [
+            Gate::Crx(0.7),
+            Gate::Cp(1.3),
+            Gate::Rzz(0.4),
+            Gate::Rxx(-0.8),
+        ];
         for g in gates {
             let m = g.matrix4().unwrap();
             let mi = g.inverse().matrix4().unwrap();
             assert!(
-                m.mul(&mi).approx_eq_up_to_phase(&Matrix4::identity(), 1e-10),
+                m.mul(&mi)
+                    .approx_eq_up_to_phase(&Matrix4::identity(), 1e-10),
                 "{} inverse failed",
                 g.name()
             );
@@ -505,7 +505,9 @@ mod tests {
     #[test]
     fn sx_squares_to_x() {
         let sx = Gate::Sx.matrix2().unwrap();
-        assert!(sx.mul(&sx).approx_eq_up_to_phase(&Matrix2::pauli_x(), 1e-10));
+        assert!(sx
+            .mul(&sx)
+            .approx_eq_up_to_phase(&Matrix2::pauli_x(), 1e-10));
     }
 
     #[test]

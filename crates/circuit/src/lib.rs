@@ -35,6 +35,6 @@ pub use dag::{DagCircuit, DagNode};
 pub use gate::Gate;
 pub use instruction::Instruction;
 pub use unitary::{
-    apply_instruction, circuit_unitary, circuits_equivalent,
-    circuits_equivalent_up_to_permutation, CircuitUnitary,
+    apply_instruction, circuit_unitary, circuits_equivalent, circuits_equivalent_up_to_permutation,
+    CircuitUnitary,
 };

@@ -79,7 +79,10 @@ impl CircuitUnitary {
                 out[col * self.dim + new_row] = self.data[col * self.dim + row];
             }
         }
-        CircuitUnitary { dim: self.dim, data: out }
+        CircuitUnitary {
+            dim: self.dim,
+            data: out,
+        }
     }
 }
 
@@ -113,7 +116,9 @@ pub fn apply_instruction(state: &mut [C64], num_qubits: usize, inst: &Instructio
             }
         }
         gate if gate.num_qubits() == 1 => {
-            let m = gate.matrix2().expect("single-qubit gate must have a matrix");
+            let m = gate
+                .matrix2()
+                .expect("single-qubit gate must have a matrix");
             let q = inst.qubits[0];
             let stride = 1usize << q;
             let dim = 1usize << num_qubits;
@@ -164,7 +169,10 @@ pub fn apply_instruction(state: &mut [C64], num_qubits: usize, inst: &Instructio
 /// not fit in a reasonable amount of memory) or contains measurements.
 pub fn circuit_unitary(circuit: &QuantumCircuit) -> CircuitUnitary {
     let n = circuit.num_qubits();
-    assert!(n <= 14, "dense unitary construction is limited to 14 qubits, got {n}");
+    assert!(
+        n <= 14,
+        "dense unitary construction is limited to 14 qubits, got {n}"
+    );
     let dim = 1usize << n;
     let mut data = vec![C64::zero(); dim * dim];
     for col in 0..dim {
@@ -260,7 +268,12 @@ mod tests {
         a.cx(0, 1);
         let mut b = QuantumCircuit::new(2);
         b.swap(0, 1).cx(1, 0);
-        assert!(circuits_equivalent_up_to_permutation(&a, &b, &[1, 0], 1e-10));
+        assert!(circuits_equivalent_up_to_permutation(
+            &a,
+            &b,
+            &[1, 0],
+            1e-10
+        ));
         assert!(!circuits_equivalent(&a, &b, 1e-10));
     }
 

@@ -103,7 +103,13 @@ impl SwapReduction {
     }
 
     fn zero() -> Self {
-        Self { c_2q: 0.0, c_commute1: 0.0, c_commute2: 0.0, orientation: None, partner_swap_index: None }
+        Self {
+            c_2q: 0.0,
+            c_commute1: 0.0,
+            c_commute2: 0.0,
+            orientation: None,
+            partner_swap_index: None,
+        }
     }
 }
 
@@ -154,9 +160,10 @@ fn block_resynthesis_reduction(output: &QuantumCircuit, p1: usize, p2: usize) ->
     let low = p1.min(p2);
     let block_unitary = block_matrix(&block, low);
     let with_swap = Matrix4::swap().mul(&block_unitary);
-    let (Ok(old_cost), Ok(new_cost)) =
-        (two_qubit_cnot_cost(&block_unitary), two_qubit_cnot_cost(&with_swap))
-    else {
+    let (Ok(old_cost), Ok(new_cost)) = (
+        two_qubit_cnot_cost(&block_unitary),
+        two_qubit_cnot_cost(&with_swap),
+    ) else {
         return 0.0;
     };
     let extra = new_cost.saturating_sub(old_cost) as f64;
@@ -166,7 +173,11 @@ fn block_resynthesis_reduction(output: &QuantumCircuit, p1: usize, p2: usize) ->
 /// `C_commute1`: 2 when a CNOT on `(p1, p2)` earlier in the circuit can
 /// commute up to the insertion point and cancel against the SWAP's first
 /// CNOT. Returns the required SWAP orientation.
-fn commute1_reduction(output: &QuantumCircuit, p1: usize, p2: usize) -> Option<(f64, SwapOrientation)> {
+fn commute1_reduction(
+    output: &QuantumCircuit,
+    p1: usize,
+    p2: usize,
+) -> Option<(f64, SwapOrientation)> {
     let window = touching_window(output, p1, p2);
     // Gates between the candidate CNOT and the insertion point (multi-qubit
     // gates only; single-qubit gates are movable through the SWAP).
@@ -176,16 +187,17 @@ fn commute1_reduction(output: &QuantumCircuit, p1: usize, p2: usize) -> Option<(
         if inst.num_qubits() == 1 && inst.gate.is_unitary() {
             continue;
         }
-        let on_pair = inst.qubits.len() == 2
-            && inst.qubits.contains(&p1)
-            && inst.qubits.contains(&p2);
+        let on_pair =
+            inst.qubits.len() == 2 && inst.qubits.contains(&p1) && inst.qubits.contains(&p2);
         if on_pair && inst.gate == Gate::Cx {
             if between.is_empty() {
                 // Directly adjacent: the block-resynthesis term already
                 // captures this case.
                 return None;
             }
-            let commutes_past_all = between.iter().all(|other| instructions_commute(inst, other));
+            let commutes_past_all = between
+                .iter()
+                .all(|other| instructions_commute(inst, other));
             if commutes_past_all {
                 let control = inst.qubits[0];
                 return Some((2.0, SwapOrientation::with_first_control(p1, p2, control)));
@@ -216,9 +228,8 @@ fn commute2_reduction(
         if inst.num_qubits() == 1 && inst.gate.is_unitary() {
             continue;
         }
-        let on_pair = inst.qubits.len() == 2
-            && inst.qubits.contains(&p1)
-            && inst.qubits.contains(&p2);
+        let on_pair =
+            inst.qubits.len() == 2 && inst.qubits.contains(&p1) && inst.qubits.contains(&p2);
         if on_pair && inst.gate == Gate::Swap {
             if between.is_empty() {
                 // Back-to-back SWAPs cancel entirely; the block term covers it.
@@ -228,8 +239,15 @@ fn commute2_reduction(
             for control in [p1, p2] {
                 let target = if control == p1 { p2 } else { p1 };
                 let probe = Instruction::new(Gate::Cx, vec![control, target]);
-                if between.iter().all(|other| instructions_commute(&probe, other)) {
-                    return Some((2.0, SwapOrientation::with_first_control(p1, p2, control), idx));
+                if between
+                    .iter()
+                    .all(|other| instructions_commute(&probe, other))
+                {
+                    return Some((
+                        2.0,
+                        SwapOrientation::with_first_control(p1, p2, control),
+                        idx,
+                    ));
                 }
             }
             return None;
@@ -337,7 +355,13 @@ mod tests {
     #[test]
     fn swap_next_to_three_cnot_block_is_free() {
         let mut output = QuantumCircuit::new(2);
-        output.cx(0, 1).rz(0.3, 1).cx(1, 0).ry(0.2, 0).cx(0, 1).rz(0.5, 0);
+        output
+            .cx(0, 1)
+            .rz(0.3, 1)
+            .cx(1, 0)
+            .ry(0.2, 0)
+            .cx(0, 1)
+            .rz(0.5, 0);
         let r = evaluate_swap_reduction(&output, 0, 1, &OptimizationFlags::all());
         // The block already needs 3 CNOTs; adding the SWAP keeps it at ≤3.
         assert!(r.c_2q >= 2.0, "got {}", r.c_2q);
@@ -370,7 +394,10 @@ mod tests {
         let r = evaluate_swap_reduction(&output, 1, 2, &OptimizationFlags::all());
         assert_eq!(r.c_commute1, 2.0);
         // The cancelling CNOT has control 2 → the SWAP's first CNOT must too.
-        assert_eq!(r.orientation, Some(SwapOrientation::with_first_control(1, 2, 2)));
+        assert_eq!(
+            r.orientation,
+            Some(SwapOrientation::with_first_control(1, 2, 2))
+        );
     }
 
     #[test]

@@ -65,7 +65,10 @@ impl TranspileOptions {
     /// `Qiskit+NASSC` with a specific optimization-flag combination
     /// (used by the Figure 9 sweep).
     pub fn nassc_with_flags(seed: u64, flags: OptimizationFlags) -> Self {
-        Self { flags, ..Self::nassc(seed) }
+        Self {
+            flags,
+            ..Self::nassc(seed)
+        }
     }
 
     /// The noise-aware variant (`SABRE+HA` / `NASSC+HA`).
@@ -152,7 +155,13 @@ pub fn transpile(
                 &mut rng,
             );
             let decomposed = decompose_swaps_fixed(&result.circuit);
-            (result.circuit, decomposed, result.initial_layout, result.final_layout, result.swap_count)
+            (
+                result.circuit,
+                decomposed,
+                result.initial_layout,
+                result.final_layout,
+                result.swap_count,
+            )
         }
         RouterKind::Nassc => {
             let mut policy = NasscPolicy::new(options.flags);
@@ -166,7 +175,13 @@ pub fn transpile(
                 &mut rng,
             );
             let decomposed = policy.decompose_swaps(&result.circuit);
-            (result.circuit, decomposed, result.initial_layout, result.final_layout, result.swap_count)
+            (
+                result.circuit,
+                decomposed,
+                result.initial_layout,
+                result.final_layout,
+                result.swap_count,
+            )
         }
     };
     drop(routed);
@@ -195,7 +210,11 @@ pub fn decompose_swaps_fixed(circuit: &QuantumCircuit) -> QuantumCircuit {
     let mut out = QuantumCircuit::new(circuit.num_qubits());
     for inst in circuit.iter() {
         if inst.gate == Gate::Swap {
-            for cx in swap_decomposition(inst.qubits[0], inst.qubits[1], SwapOrientation::FirstQubitControl) {
+            for cx in swap_decomposition(
+                inst.qubits[0],
+                inst.qubits[1],
+                SwapOrientation::FirstQubitControl,
+            ) {
                 out.push(cx);
             }
         } else {
@@ -244,8 +263,12 @@ mod tests {
         let mut sabre_total = 0usize;
         let mut nassc_total = 0usize;
         for seed in 0..5 {
-            sabre_total += transpile(&circuit, &device, &TranspileOptions::sabre(seed)).unwrap().cx_count();
-            nassc_total += transpile(&circuit, &device, &TranspileOptions::nassc(seed)).unwrap().cx_count();
+            sabre_total += transpile(&circuit, &device, &TranspileOptions::sabre(seed))
+                .unwrap()
+                .cx_count();
+            nassc_total += transpile(&circuit, &device, &TranspileOptions::nassc(seed))
+                .unwrap()
+                .cx_count();
         }
         assert!(
             nassc_total <= sabre_total,

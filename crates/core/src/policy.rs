@@ -35,14 +35,20 @@ pub struct NasscPolicy {
 impl NasscPolicy {
     /// Creates a policy with the given optimization flags.
     pub fn new(flags: OptimizationFlags) -> Self {
-        Self { flags, ..Self::default() }
+        Self {
+            flags,
+            ..Self::default()
+        }
     }
 
     /// The orientation recorded for the SWAP emitted at `output_index`
     /// (defaults to [`SwapOrientation::FirstQubitControl`] when no
     /// cancellation constrained it).
     pub fn orientation_of(&self, output_index: usize) -> SwapOrientation {
-        self.orientations.get(&output_index).copied().unwrap_or_default()
+        self.orientations
+            .get(&output_index)
+            .copied()
+            .unwrap_or_default()
     }
 
     /// All recorded orientations keyed by output instruction index.
@@ -83,7 +89,13 @@ impl SwapPolicy for NasscPolicy {
         basic + extended
     }
 
-    fn before_swap_emit(&mut self, output: &mut QuantumCircuit, _layout: &Layout, p1: usize, p2: usize) {
+    fn before_swap_emit(
+        &mut self,
+        output: &mut QuantumCircuit,
+        _layout: &Layout,
+        p1: usize,
+        p2: usize,
+    ) {
         // Re-evaluate the winning candidate to fix its decomposition
         // orientation (and its sandwich partner's).
         let reduction = evaluate_swap_reduction(output, p1, p2, &self.flags);
@@ -104,7 +116,8 @@ impl SwapPolicy for NasscPolicy {
             }
             let gate = instructions.pop().expect("checked non-empty");
             let other = if gate.qubits[0] == p1 { p2 } else { p1 };
-            self.detached_gates.push(Instruction::new(gate.gate, vec![other]));
+            self.detached_gates
+                .push(Instruction::new(gate.gate, vec![other]));
         }
         if !self.detached_gates.is_empty() {
             self.detached_gates.reverse();
@@ -116,7 +129,13 @@ impl SwapPolicy for NasscPolicy {
         }
     }
 
-    fn after_swap_emit(&mut self, output: &mut QuantumCircuit, swap_index: usize, _p1: usize, _p2: usize) {
+    fn after_swap_emit(
+        &mut self,
+        output: &mut QuantumCircuit,
+        swap_index: usize,
+        _p1: usize,
+        _p2: usize,
+    ) {
         if let Some(orientation) = self.pending_orientation.take() {
             self.orientations.insert(swap_index, orientation);
             if let Some(partner) = self.pending_partner.take() {
@@ -152,8 +171,15 @@ mod tests {
         let layout = Layout::trivial(3);
         let config = SabreConfig::with_seed(1);
         let mut rng = StdRng::seed_from_u64(1);
-        let result =
-            route_with_policy(&qc, &line, &distances, &layout, &config, &mut policy, &mut rng);
+        let result = route_with_policy(
+            &qc,
+            &line,
+            &distances,
+            &layout,
+            &config,
+            &mut policy,
+            &mut rng,
+        );
         assert_eq!(result.swap_count, 1);
     }
 
@@ -167,8 +193,15 @@ mod tests {
         let layout = Layout::trivial(4);
         let config = SabreConfig::with_seed(4);
         let mut rng = StdRng::seed_from_u64(4);
-        let result =
-            route_with_policy(&qc, &grid, &distances, &layout, &config, &mut policy, &mut rng);
+        let result = route_with_policy(
+            &qc,
+            &grid,
+            &distances,
+            &layout,
+            &config,
+            &mut policy,
+            &mut rng,
+        );
         let decomposed = policy.decompose_swaps(&result.circuit);
         assert_eq!(decomposed.swap_count(), 0);
         assert!(circuits_equivalent(&result.circuit, &decomposed, 1e-8));
@@ -177,7 +210,10 @@ mod tests {
     #[test]
     fn orientation_defaults_when_unconstrained() {
         let policy = NasscPolicy::new(OptimizationFlags::all());
-        assert_eq!(policy.orientation_of(42), SwapOrientation::FirstQubitControl);
+        assert_eq!(
+            policy.orientation_of(42),
+            SwapOrientation::FirstQubitControl
+        );
     }
 
     #[test]

@@ -226,11 +226,13 @@ mod tests {
             let theta = k as f64 * 0.4 - 3.0;
             let z = C64::exp_i(theta);
             assert!((z.abs() - 1.0).abs() < 1e-14);
-            assert!((z.arg() - theta.rem_euclid(2.0 * std::f64::consts::PI)).abs() < 1e-12
-                || (z.arg() + 2.0 * std::f64::consts::PI
-                    - theta.rem_euclid(2.0 * std::f64::consts::PI))
-                .abs()
-                    < 1e-12);
+            assert!(
+                (z.arg() - theta.rem_euclid(2.0 * std::f64::consts::PI)).abs() < 1e-12
+                    || (z.arg() + 2.0 * std::f64::consts::PI
+                        - theta.rem_euclid(2.0 * std::f64::consts::PI))
+                    .abs()
+                        < 1e-12
+            );
         }
     }
 

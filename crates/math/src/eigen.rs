@@ -22,7 +22,10 @@ pub struct RealMatrix {
 impl RealMatrix {
     /// Creates an `n×n` zero matrix.
     pub fn zeros(n: usize) -> Self {
-        Self { n, data: vec![0.0; n * n] }
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     /// Creates the `n×n` identity matrix.
@@ -41,7 +44,10 @@ impl RealMatrix {
     /// Panics if `data.len() != n * n`.
     pub fn from_rows(n: usize, data: &[f64]) -> Self {
         assert_eq!(data.len(), n * n, "row-major data must have n*n entries");
-        Self { n, data: data.to_vec() }
+        Self {
+            n,
+            data: data.to_vec(),
+        }
     }
 
     /// Matrix dimension.
@@ -170,7 +176,10 @@ pub struct Eigen {
 ///
 /// Panics if the matrix is not symmetric within `1e-8`.
 pub fn jacobi_eigen(matrix: &RealMatrix) -> Eigen {
-    assert!(matrix.is_symmetric(1e-8), "jacobi_eigen requires a symmetric matrix");
+    assert!(
+        matrix.is_symmetric(1e-8),
+        "jacobi_eigen requires a symmetric matrix"
+    );
     let n = matrix.dim();
     let mut a = matrix.clone();
     let mut v = RealMatrix::identity(n);
@@ -187,10 +196,8 @@ pub fn jacobi_eigen(matrix: &RealMatrix) -> Eigen {
                 }
                 let app = a.get(p, p);
                 let aqq = a.get(q, q);
-                let theta = 0.5 * (aqq - app).atan2(2.0 * apq) * -1.0;
                 // Standard Jacobi rotation angle: tan(2θ) = 2a_pq / (a_pp - a_qq)
                 let phi = 0.5 * (2.0 * apq).atan2(app - aqq);
-                let _ = theta;
                 let c = phi.cos();
                 let s = phi.sin();
                 // Apply rotation R(p,q,phi) on both sides: A' = Rᵀ A R.

@@ -29,18 +29,12 @@ impl Matrix2 {
 
     /// The 2×2 identity.
     pub fn identity() -> Self {
-        Self::new([
-            [C64::one(), C64::zero()],
-            [C64::zero(), C64::one()],
-        ])
+        Self::new([[C64::one(), C64::zero()], [C64::zero(), C64::one()]])
     }
 
     /// The Pauli-X matrix.
     pub fn pauli_x() -> Self {
-        Self::new([
-            [C64::zero(), C64::one()],
-            [C64::one(), C64::zero()],
-        ])
+        Self::new([[C64::zero(), C64::one()], [C64::one(), C64::zero()]])
     }
 
     /// The Pauli-Y matrix.
@@ -53,19 +47,13 @@ impl Matrix2 {
 
     /// The Pauli-Z matrix.
     pub fn pauli_z() -> Self {
-        Self::new([
-            [C64::one(), C64::zero()],
-            [C64::zero(), C64::real(-1.0)],
-        ])
+        Self::new([[C64::one(), C64::zero()], [C64::zero(), C64::real(-1.0)]])
     }
 
     /// The Hadamard matrix.
     pub fn hadamard() -> Self {
         let s = std::f64::consts::FRAC_1_SQRT_2;
-        Self::new([
-            [C64::real(s), C64::real(s)],
-            [C64::real(s), C64::real(-s)],
-        ])
+        Self::new([[C64::real(s), C64::real(s)], [C64::real(s), C64::real(-s)]])
     }
 
     /// Element access.
@@ -119,7 +107,7 @@ impl Matrix2 {
         let mut out = self.data;
         for row in &mut out {
             for cell in row.iter_mut() {
-                *cell = *cell * s;
+                *cell *= s;
             }
         }
         Matrix2::new(out)
@@ -127,7 +115,11 @@ impl Matrix2 {
 
     /// Entry-wise comparison within `tol`.
     pub fn approx_eq(&self, other: &Matrix2, tol: f64) -> bool {
-        self.data.iter().flatten().zip(other.data.iter().flatten()).all(|(a, b)| a.approx_eq(*b, tol))
+        self.data
+            .iter()
+            .flatten()
+            .zip(other.data.iter().flatten())
+            .all(|(a, b)| a.approx_eq(*b, tol))
     }
 
     /// Comparison that ignores a global phase factor.
@@ -144,7 +136,8 @@ impl Matrix2 {
 
     /// Returns `true` when `self * self† ≈ I`.
     pub fn is_unitary(&self, tol: f64) -> bool {
-        self.mul(&self.adjoint()).approx_eq(&Matrix2::identity(), tol)
+        self.mul(&self.adjoint())
+            .approx_eq(&Matrix2::identity(), tol)
     }
 
     /// Kronecker product producing a 4×4 matrix. `self` acts on the most
@@ -201,24 +194,14 @@ impl Matrix4 {
         let z = C64::zero();
         // Basis order |00>, |01>, |10>, |11> with q0 least significant.
         // Control q0: |01> -> |11>, |11> -> |01>.
-        Self::new([
-            [o, z, z, z],
-            [z, z, z, o],
-            [z, z, o, z],
-            [z, o, z, z],
-        ])
+        Self::new([[o, z, z, z], [z, z, z, o], [z, z, o, z], [z, o, z, z]])
     }
 
     /// The SWAP matrix.
     pub fn swap() -> Self {
         let o = C64::one();
         let z = C64::zero();
-        Self::new([
-            [o, z, z, z],
-            [z, z, o, z],
-            [z, o, z, z],
-            [z, z, z, o],
-        ])
+        Self::new([[o, z, z, z], [z, z, o, z], [z, o, z, z], [z, z, z, o]])
     }
 
     /// Element access.
@@ -296,7 +279,7 @@ impl Matrix4 {
         let mut out = self.data;
         for row in &mut out {
             for cell in row.iter_mut() {
-                *cell = *cell * s;
+                *cell *= s;
             }
         }
         Matrix4::new(out)
@@ -304,7 +287,11 @@ impl Matrix4 {
 
     /// Entry-wise comparison within `tol`.
     pub fn approx_eq(&self, other: &Matrix4, tol: f64) -> bool {
-        self.data.iter().flatten().zip(other.data.iter().flatten()).all(|(a, b)| a.approx_eq(*b, tol))
+        self.data
+            .iter()
+            .flatten()
+            .zip(other.data.iter().flatten())
+            .all(|(a, b)| a.approx_eq(*b, tol))
     }
 
     /// Comparison that ignores a global phase factor.
@@ -321,7 +308,8 @@ impl Matrix4 {
 
     /// Returns `true` when `self * self† ≈ I`.
     pub fn is_unitary(&self, tol: f64) -> bool {
-        self.mul(&self.adjoint()).approx_eq(&Matrix4::identity(), tol)
+        self.mul(&self.adjoint())
+            .approx_eq(&Matrix4::identity(), tol)
     }
 
     /// Reinterprets the matrix with the two qubits exchanged (conjugation by
@@ -357,7 +345,12 @@ mod tests {
 
     #[test]
     fn pauli_matrices_square_to_identity() {
-        for m in [Matrix2::pauli_x(), Matrix2::pauli_y(), Matrix2::pauli_z(), Matrix2::hadamard()] {
+        for m in [
+            Matrix2::pauli_x(),
+            Matrix2::pauli_y(),
+            Matrix2::pauli_z(),
+            Matrix2::hadamard(),
+        ] {
             assert!(m.mul(&m).approx_eq(&Matrix2::identity(), 1e-12));
             assert!(m.is_unitary(1e-12));
         }
@@ -380,8 +373,12 @@ mod tests {
     fn cnot_and_swap_are_unitary_involutions() {
         assert!(Matrix4::cnot().is_unitary(1e-12));
         assert!(Matrix4::swap().is_unitary(1e-12));
-        assert!(Matrix4::cnot().mul(&Matrix4::cnot()).approx_eq(&Matrix4::identity(), 1e-12));
-        assert!(Matrix4::swap().mul(&Matrix4::swap()).approx_eq(&Matrix4::identity(), 1e-12));
+        assert!(Matrix4::cnot()
+            .mul(&Matrix4::cnot())
+            .approx_eq(&Matrix4::identity(), 1e-12));
+        assert!(Matrix4::swap()
+            .mul(&Matrix4::swap())
+            .approx_eq(&Matrix4::identity(), 1e-12));
     }
 
     #[test]
@@ -396,7 +393,9 @@ mod tests {
 
     #[test]
     fn determinant_of_unitary_has_modulus_one() {
-        let m = Matrix2::hadamard().kron(&Matrix2::pauli_y()).mul(&Matrix4::cnot());
+        let m = Matrix2::hadamard()
+            .kron(&Matrix2::pauli_y())
+            .mul(&Matrix4::cnot());
         assert!((m.det().abs() - 1.0).abs() < 1e-12);
     }
 

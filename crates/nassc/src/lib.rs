@@ -1,0 +1,42 @@
+//! # NASSC — *Not All SWAPs have the Same Cost* (HPCA 2022), in Rust
+//!
+//! Facade crate: one `use nassc::...` away from the whole reproduction.
+//!
+//! The heavy lifting lives in the sub-crates (re-exported below under short
+//! module names); this crate re-exports the handful of types that nearly
+//! every consumer needs — the [`transpile`] entry point, its
+//! [`TranspileOptions`]/[`RouterKind`] configuration, the
+//! [`OptimizationFlags`] controlling the Eq. 1–2 cost terms, and the
+//! no-routing baseline [`optimize_without_routing`].
+//!
+//! # Example
+//!
+//! ```
+//! use nassc::{transpile, RouterKind, TranspileOptions};
+//! use nassc::circuit::QuantumCircuit;
+//! use nassc::topology::CouplingMap;
+//!
+//! let mut qc = QuantumCircuit::new(3);
+//! qc.cx(1, 2).cx(0, 1).cx(0, 2);
+//! let device = CouplingMap::linear(3);
+//! let result = transpile(&qc, &device, &TranspileOptions::nassc(7)).unwrap();
+//! assert_eq!(TranspileOptions::nassc(7).router, RouterKind::Nassc);
+//! assert!(result.cx_count() >= qc.cx_count());
+//! ```
+
+pub use nassc_core::{
+    decompose_swaps_fixed, embed, evaluate_swap_reduction, optimize_without_routing, transpile,
+    NasscPolicy, OptimizationFlags, RouterKind, SwapReduction, TranspileOptions, TranspileResult,
+};
+
+// Sub-crate namespaces, so downstream code can write `nassc::circuit::...`
+// without depending on each `nassc-*` crate individually.
+pub use nassc_benchmarks as benchmarks;
+pub use nassc_circuit as circuit;
+pub use nassc_core as core;
+pub use nassc_math as math;
+pub use nassc_passes as passes;
+pub use nassc_sabre as sabre;
+pub use nassc_sim as sim;
+pub use nassc_synthesis as synthesis;
+pub use nassc_topology as topology;

@@ -1,0 +1,62 @@
+//! Smoke tests pinning the `nassc` facade's public API surface: if a
+//! re-export disappears or an entry-point signature drifts, these fail before
+//! any downstream consumer notices.
+
+use nassc::{optimize_without_routing, transpile, OptimizationFlags, RouterKind, TranspileOptions};
+
+/// The 4-qubit circuit used by every smoke test below.
+fn smoke_circuit() -> nassc::circuit::QuantumCircuit {
+    let mut qc = nassc::circuit::QuantumCircuit::new(4);
+    qc.h(0).cx(0, 1).t(1).cx(1, 2).cx(0, 3).h(3).cx(2, 3);
+    qc
+}
+
+#[test]
+fn transpiles_with_both_router_kinds_on_a_linear_map() {
+    let device = nassc::topology::CouplingMap::linear(4);
+    let qc = smoke_circuit();
+    for options in [TranspileOptions::sabre(1), TranspileOptions::nassc(1)] {
+        let result = transpile(&qc, &device, &options).expect("transpile");
+        assert!(nassc::passes::is_mapped(&result.circuit, &device));
+        assert!(result.circuit.iter().all(|i| i.gate.in_ibm_basis()));
+        assert!(result.cx_count() > 0);
+        assert!(result.depth() > 0);
+    }
+}
+
+#[test]
+fn router_kind_is_part_of_the_options_surface() {
+    assert_eq!(TranspileOptions::sabre(3).router, RouterKind::Sabre);
+    assert_eq!(TranspileOptions::nassc(3).router, RouterKind::Nassc);
+    let flags = OptimizationFlags::default();
+    assert_eq!(
+        TranspileOptions::nassc_with_flags(3, flags).router,
+        RouterKind::Nassc
+    );
+}
+
+#[test]
+fn baseline_optimization_is_reachable_through_the_facade() {
+    let qc = smoke_circuit();
+    let optimized = optimize_without_routing(&qc).expect("optimize");
+    assert!(optimized.cx_count() <= qc.cx_count());
+}
+
+#[test]
+fn sub_crate_namespaces_are_re_exported() {
+    // One cheap touch per namespace keeps the re-export list honest.
+    assert!(nassc::math::Matrix4::identity().approx_eq(&nassc::math::Matrix4::identity(), 1e-12));
+    assert_eq!(nassc::topology::CouplingMap::linear(5).num_qubits(), 5);
+    let qft = nassc::benchmarks::qft(3);
+    assert_eq!(qft.num_qubits(), 3);
+    assert!(qft.iter().count() > 0);
+    assert!(nassc::synthesis::two_qubit_cnot_cost(&nassc::math::Matrix4::swap()).unwrap() >= 3);
+    let calibration =
+        nassc::topology::Calibration::synthetic(&nassc::topology::CouplingMap::linear(3), 7);
+    let _noise = nassc::sim::NoiseModel::from_calibration(
+        &nassc::topology::CouplingMap::linear(3),
+        calibration,
+    );
+    let _config = nassc::sabre::SabreConfig::default();
+    let _pipeline = nassc::passes::standard_optimization_pipeline();
+}

@@ -281,7 +281,13 @@ mod tests {
     fn three_cnot_blocks_absorb_a_swap_for_free() {
         // A generic 3-CNOT block followed by a SWAP still needs only 3 CNOTs.
         let mut qc = QuantumCircuit::new(2);
-        qc.cx(0, 1).rz(0.3, 1).ry(0.2, 0).cx(1, 0).rz(0.9, 0).cx(0, 1).ry(1.2, 1);
+        qc.cx(0, 1)
+            .rz(0.3, 1)
+            .ry(0.2, 0)
+            .cx(1, 0)
+            .rz(0.9, 0)
+            .cx(0, 1)
+            .ry(1.2, 1);
         qc.swap(0, 1);
         let before = qc.clone();
         let out = TwoQubitBlockResynthesis.run(&qc).unwrap();

@@ -175,10 +175,8 @@ fn cancel_once(circuit: &QuantumCircuit, max_set_size: usize) -> (QuantumCircuit
                             let inst = &circuit.instructions()[idx];
                             // Multi-qubit cancellations must be legal on every
                             // wire the gate touches, not just this one.
-                            let ok_everywhere = inst
-                                .qubits
-                                .iter()
-                                .all(|&q| sets.same_set(q, first, idx));
+                            let ok_everywhere =
+                                inst.qubits.iter().all(|&q| sets.same_set(q, first, idx));
                             if ok_everywhere {
                                 removed[first] = true;
                                 removed[idx] = true;
@@ -217,7 +215,10 @@ mod tests {
         let x1 = Instruction::new(Gate::X, vec![1]);
         let x0 = Instruction::new(Gate::X, vec![0]);
         assert!(instructions_commute(&cx01, &cx21), "shared target commutes");
-        assert!(!instructions_commute(&cx01, &cx10), "opposite direction does not");
+        assert!(
+            !instructions_commute(&cx01, &cx10),
+            "opposite direction does not"
+        );
         assert!(instructions_commute(&cx01, &z0), "Z on control commutes");
         assert!(instructions_commute(&cx01, &x1), "X on target commutes");
         assert!(!instructions_commute(&cx01, &x0), "X on control does not");

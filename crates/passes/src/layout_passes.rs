@@ -10,7 +10,11 @@ use nassc_topology::{CouplingMap, Layout};
 /// # Panics
 ///
 /// Panics when the device has fewer qubits than the circuit.
-pub fn apply_layout(circuit: &QuantumCircuit, layout: &Layout, device_qubits: usize) -> QuantumCircuit {
+pub fn apply_layout(
+    circuit: &QuantumCircuit,
+    layout: &Layout,
+    device_qubits: usize,
+) -> QuantumCircuit {
     assert!(
         device_qubits >= circuit.num_qubits(),
         "device has {device_qubits} qubits but the circuit needs {}",

@@ -14,7 +14,10 @@ pub struct PassError {
 impl PassError {
     /// Creates a new error attributed to the named pass.
     pub fn new(pass: impl Into<String>, message: impl Into<String>) -> Self {
-        Self { pass: pass.into(), message: message.into() }
+        Self {
+            pass: pass.into(),
+            message: message.into(),
+        }
     }
 
     /// The name of the pass that failed.
@@ -107,7 +110,9 @@ impl PassManager {
 impl fmt::Debug for PassManager {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let names: Vec<&str> = self.passes.iter().map(|p| p.name()).collect();
-        f.debug_struct("PassManager").field("passes", &names).finish()
+        f.debug_struct("PassManager")
+            .field("passes", &names)
+            .finish()
     }
 }
 

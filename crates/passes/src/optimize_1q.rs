@@ -46,10 +46,9 @@ impl TranspilePass for Optimize1qGates {
         for inst in circuit.iter() {
             let is_mergeable_1q = inst.gate.is_unitary() && inst.gate.num_qubits() == 1;
             if is_mergeable_1q {
-                let m = inst
-                    .gate
-                    .matrix2()
-                    .ok_or_else(|| PassError::new("optimize-1q-gates", "single-qubit gate without matrix"))?;
+                let m = inst.gate.matrix2().ok_or_else(|| {
+                    PassError::new("optimize-1q-gates", "single-qubit gate without matrix")
+                })?;
                 let q = inst.qubits[0];
                 let acc = pending[q].take().unwrap_or_else(Matrix2::identity);
                 pending[q] = Some(m.mul(&acc));
@@ -89,10 +88,9 @@ impl TranspilePass for Collect1qRuns {
         };
         for inst in circuit.iter() {
             if inst.gate.is_unitary() && inst.gate.num_qubits() == 1 {
-                let m = inst
-                    .gate
-                    .matrix2()
-                    .ok_or_else(|| PassError::new("collect-1q-runs", "single-qubit gate without matrix"))?;
+                let m = inst.gate.matrix2().ok_or_else(|| {
+                    PassError::new("collect-1q-runs", "single-qubit gate without matrix")
+                })?;
                 let q = inst.qubits[0];
                 let acc = pending[q].take().unwrap_or_else(Matrix2::identity);
                 pending[q] = Some(m.mul(&acc));
@@ -139,12 +137,22 @@ mod tests {
     #[test]
     fn preserves_semantics_on_mixed_circuit() {
         let mut qc = QuantumCircuit::new(3);
-        qc.h(0).t(0).s(1).cx(0, 1).rz(0.3, 1).ry(0.2, 1).cx(1, 2).h(2).h(2);
+        qc.h(0)
+            .t(0)
+            .s(1)
+            .cx(0, 1)
+            .rz(0.3, 1)
+            .ry(0.2, 1)
+            .cx(1, 2)
+            .h(2)
+            .h(2);
         let out = Optimize1qGates.run(&qc).unwrap();
         assert!(circuits_equivalent(&qc, &out, 1e-8));
         // The trailing h·h pair on wire 2 multiplies to the identity and is
         // dropped entirely.
-        assert!(!out.iter().any(|i| i.qubits == vec![2] && i.gate.is_unitary()));
+        assert!(!out
+            .iter()
+            .any(|i| i.qubits == vec![2] && i.gate.is_unitary()));
     }
 
     #[test]

@@ -72,15 +72,15 @@ fn unroll_instruction(inst: &Instruction) -> Result<Vec<Instruction>, PassError>
                 .collect())
         }
         gate if gate.num_qubits() == 1 => {
-            let m = gate
-                .matrix2()
-                .ok_or_else(|| PassError::new("unroll-to-basis", format!("no matrix for {}", gate.name())))?;
+            let m = gate.matrix2().ok_or_else(|| {
+                PassError::new("unroll-to-basis", format!("no matrix for {}", gate.name()))
+            })?;
             Ok(OneQubitEulerDecomposer::to_zsx(&m, inst.qubits[0]))
         }
         gate if gate.num_qubits() == 2 => {
-            let m = gate
-                .matrix4()
-                .ok_or_else(|| PassError::new("unroll-to-basis", format!("no matrix for {}", gate.name())))?;
+            let m = gate.matrix4().ok_or_else(|| {
+                PassError::new("unroll-to-basis", format!("no matrix for {}", gate.name()))
+            })?;
             let synthesized = synthesize_two_qubit(&m, inst.qubits[0], inst.qubits[1])
                 .map_err(|e| PassError::new("unroll-to-basis", e.to_string()))?;
             Ok(synthesized

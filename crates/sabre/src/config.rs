@@ -38,7 +38,10 @@ impl Default for SabreConfig {
 impl SabreConfig {
     /// A config with the given seed and paper-default parameters.
     pub fn with_seed(seed: u64) -> Self {
-        Self { seed, ..Self::default() }
+        Self {
+            seed,
+            ..Self::default()
+        }
     }
 }
 
@@ -58,6 +61,9 @@ mod tests {
     fn with_seed_overrides_only_seed() {
         let c = SabreConfig::with_seed(7);
         assert_eq!(c.seed, 7);
-        assert_eq!(c.extended_set_size, SabreConfig::default().extended_set_size);
+        assert_eq!(
+            c.extended_set_size,
+            SabreConfig::default().extended_set_size
+        );
     }
 }

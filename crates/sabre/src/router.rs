@@ -99,13 +99,27 @@ pub trait SwapPolicy {
     /// Called just before the SWAP instruction is appended to the output,
     /// allowing the policy to rearrange trailing gates (NASSC moves
     /// single-qubit gates through the SWAP here).
-    fn before_swap_emit(&mut self, _output: &mut QuantumCircuit, _layout: &Layout, _p1: usize, _p2: usize) {}
+    fn before_swap_emit(
+        &mut self,
+        _output: &mut QuantumCircuit,
+        _layout: &Layout,
+        _p1: usize,
+        _p2: usize,
+    ) {
+    }
 
     /// Called after the SWAP has been appended at `swap_index`. The output
     /// is mutable so policies can re-append gates they detached in
     /// [`SwapPolicy::before_swap_emit`] (e.g. single-qubit gates commuted
     /// through the SWAP).
-    fn after_swap_emit(&mut self, _output: &mut QuantumCircuit, _swap_index: usize, _p1: usize, _p2: usize) {}
+    fn after_swap_emit(
+        &mut self,
+        _output: &mut QuantumCircuit,
+        _swap_index: usize,
+        _p1: usize,
+        _p2: usize,
+    ) {
+    }
 }
 
 /// The plain SABRE heuristic: front-layer distance with extended-layer
@@ -255,7 +269,7 @@ pub fn route_with_policy<P: SwapPolicy>(
         for &(p1, p2) in &candidates {
             let raw = policy.score(&ctx, p1, p2);
             let score = raw * decay[p1].max(decay[p2]);
-            if best.map_or(true, |(_, b)| score < b) {
+            if best.is_none_or(|(_, b)| score < b) {
                 best = Some(((p1, p2), score));
             }
         }
@@ -298,7 +312,15 @@ pub fn sabre_route(
     config: &SabreConfig,
     rng: &mut StdRng,
 ) -> RoutingResult {
-    route_with_policy(circuit, coupling, distances, initial_layout, config, &mut SabrePolicy, rng)
+    route_with_policy(
+        circuit,
+        coupling,
+        distances,
+        initial_layout,
+        config,
+        &mut SabrePolicy,
+        rng,
+    )
 }
 
 /// Chooses an initial layout with SABRE's random-start + reverse-traversal
@@ -316,8 +338,15 @@ pub fn sabre_layout(
     }
     let reversed = circuit.reversed();
     for _ in 0..config.layout_iterations {
-        let forward =
-            route_with_policy(circuit, coupling, distances, &layout, config, &mut SabrePolicy, &mut rng);
+        let forward = route_with_policy(
+            circuit,
+            coupling,
+            distances,
+            &layout,
+            config,
+            &mut SabrePolicy,
+            &mut rng,
+        );
         let backward = route_with_policy(
             &reversed,
             coupling,
@@ -448,7 +477,10 @@ mod tests {
                 }
             }
             let result = route(&qc, &grid, trial as u64);
-            assert!(is_mapped(&result.circuit, &grid), "trial {trial} not mapped");
+            assert!(
+                is_mapped(&result.circuit, &grid),
+                "trial {trial} not mapped"
+            );
             assert_routing_preserves_semantics(&qc, &result);
         }
     }
@@ -487,7 +519,11 @@ mod tests {
         let routed = sabre_route(&qc, &montreal, &distances, &layout, &config, &mut rng);
         assert!(is_mapped(&routed.circuit, &montreal));
         // 18 CNOTs on a sensible layout should need well under 2 SWAPs per CNOT.
-        assert!(routed.swap_count <= 27, "needed {} swaps", routed.swap_count);
+        assert!(
+            routed.swap_count <= 27,
+            "needed {} swaps",
+            routed.swap_count
+        );
     }
 
     #[test]

@@ -22,14 +22,22 @@ impl NoiseModel {
             .filter_map(|&(a, b)| calibration.cx_error(a, b))
             .fold(0.0_f64, f64::max)
             .max(0.01);
-        Self { coupling_qubits: coupling.num_qubits(), calibration, default_cx_error }
+        Self {
+            coupling_qubits: coupling.num_qubits(),
+            calibration,
+            default_cx_error,
+        }
     }
 
     /// A noiseless model (useful as a control in tests).
     pub fn noiseless(num_qubits: usize) -> Self {
         let coupling = CouplingMap::fully_connected(num_qubits.max(2));
         let calibration = Calibration::uniform(&coupling, 0.0, 0.0);
-        Self { coupling_qubits: num_qubits, calibration, default_cx_error: 0.0 }
+        Self {
+            coupling_qubits: num_qubits,
+            calibration,
+            default_cx_error: 0.0,
+        }
     }
 
     /// The number of physical qubits covered.
@@ -45,7 +53,9 @@ impl NoiseModel {
             return 0.0;
         }
         match inst.num_qubits() {
-            1 => self.calibration.sq_error(inst.qubits[0].min(self.coupling_qubits - 1)),
+            1 => self
+                .calibration
+                .sq_error(inst.qubits[0].min(self.coupling_qubits - 1)),
             2 => self
                 .calibration
                 .cx_error(inst.qubits[0], inst.qubits[1])
@@ -56,7 +66,8 @@ impl NoiseModel {
 
     /// The probability of flipping the measured bit of the given qubit.
     pub fn readout_error(&self, qubit: usize) -> f64 {
-        self.calibration.readout_error(qubit.min(self.coupling_qubits - 1))
+        self.calibration
+            .readout_error(qubit.min(self.coupling_qubits - 1))
     }
 }
 

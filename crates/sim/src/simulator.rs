@@ -49,7 +49,11 @@ impl CompactCircuit {
         }
         measured.sort_unstable();
         measured.dedup();
-        Self { circuit: compact, active, measured }
+        Self {
+            circuit: compact,
+            active,
+            measured,
+        }
     }
 
     /// The number of active (simulated) qubits.

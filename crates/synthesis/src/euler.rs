@@ -8,7 +8,7 @@
 //! identity.
 
 use nassc_circuit::{Gate, Instruction};
-use nassc_math::{C64, Matrix2};
+use nassc_math::{Matrix2, C64};
 use std::f64::consts::PI;
 
 /// Numerical tolerance for treating an angle as zero.
@@ -50,7 +50,10 @@ impl OneQubitEulerDecomposer {
     ///
     /// Panics if the matrix is not unitary.
     pub fn angles(u: &Matrix2) -> EulerAngles {
-        assert!(u.is_unitary(1e-6), "euler decomposition requires a unitary matrix");
+        assert!(
+            u.is_unitary(1e-6),
+            "euler decomposition requires a unitary matrix"
+        );
         // Normalise to SU(2).
         let det = u.det();
         let det_phase = det.arg() / 2.0;
@@ -76,7 +79,12 @@ impl OneQubitEulerDecomposer {
                 (phi_plus_lambda - phi_minus_lambda) / 2.0,
             )
         };
-        EulerAngles { theta, phi, lambda, phase: det_phase }
+        EulerAngles {
+            theta,
+            phi,
+            lambda,
+            phase: det_phase,
+        }
     }
 
     /// Rebuilds the matrix `e^{iφ}·Rz(ϕ)·Ry(θ)·Rz(λ)` from its angles.
@@ -154,8 +162,8 @@ pub fn wrap_angle(angle: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nassc_circuit::QuantumCircuit;
     use nassc_circuit::circuit_unitary;
+    use nassc_circuit::QuantumCircuit;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -165,16 +173,33 @@ mod tests {
         let phi = rng.gen_range(-PI..PI);
         let lam = rng.gen_range(-PI..PI);
         let phase = rng.gen_range(-PI..PI);
-        OneQubitEulerDecomposer::matrix_from_angles(&EulerAngles { theta, phi, lambda: lam, phase })
+        OneQubitEulerDecomposer::matrix_from_angles(&EulerAngles {
+            theta,
+            phi,
+            lambda: lam,
+            phase,
+        })
     }
 
     #[test]
     fn angles_reconstruct_named_gates() {
-        for gate in [Gate::H, Gate::X, Gate::S, Gate::T, Gate::Sx, Gate::Rz(0.4), Gate::Ry(1.1)] {
+        for gate in [
+            Gate::H,
+            Gate::X,
+            Gate::S,
+            Gate::T,
+            Gate::Sx,
+            Gate::Rz(0.4),
+            Gate::Ry(1.1),
+        ] {
             let m = gate.matrix2().unwrap();
             let a = OneQubitEulerDecomposer::angles(&m);
             let rebuilt = OneQubitEulerDecomposer::matrix_from_angles(&a);
-            assert!(rebuilt.approx_eq(&m, 1e-9), "{} reconstruction failed", gate.name());
+            assert!(
+                rebuilt.approx_eq(&m, 1e-9),
+                "{} reconstruction failed",
+                gate.name()
+            );
         }
     }
 

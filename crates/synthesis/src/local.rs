@@ -2,7 +2,7 @@
 //! the magic basis, Kronecker-factor extraction, and the canonical
 //! interaction matrix `exp(i(αXX + βYY + γZZ))`.
 
-use nassc_math::{C64, Matrix2, Matrix4};
+use nassc_math::{Matrix2, Matrix4, C64};
 
 /// The magic-basis change-of-basis matrix `B`.
 ///
@@ -14,12 +14,7 @@ pub fn magic_basis() -> Matrix4 {
     let z = C64::zero();
     let r = C64::real(s);
     let i = C64::new(0.0, s);
-    Matrix4::new([
-        [r, z, z, i],
-        [z, i, r, z],
-        [z, i, -r, z],
-        [r, z, z, -i],
-    ])
+    Matrix4::new([[r, z, z, i], [z, i, r, z], [z, i, -r, z], [r, z, z, -i]])
 }
 
 /// Transforms a two-qubit operator into the magic basis: `B† · U · B`.
@@ -117,7 +112,9 @@ pub fn interaction_matrix(alpha: f64, beta: f64, gamma: f64) -> Matrix4 {
         }
         out
     };
-    expo(alpha, &xx).mul(&expo(beta, &yy)).mul(&expo(gamma, &zz))
+    expo(alpha, &xx)
+        .mul(&expo(beta, &yy))
+        .mul(&expo(gamma, &zz))
 }
 
 /// The diagonal signatures of `XX`, `YY`, `ZZ` in the magic basis.
@@ -129,8 +126,8 @@ pub fn magic_signatures() -> [[f64; 4]; 3] {
     let mut out = [[0.0; 4]; 3];
     for (k, p) in paulis.iter().enumerate() {
         let m = to_magic(&p.kron(p));
-        for j in 0..4 {
-            out[k][j] = m.get(j, j).re;
+        for (j, cell) in out[k].iter_mut().enumerate() {
+            *cell = m.get(j, j).re;
         }
     }
     out
@@ -148,7 +145,10 @@ mod tests {
 
     #[test]
     fn local_gates_become_real_orthogonal_in_magic_basis() {
-        let u = Gate::Ry(0.7).matrix2().unwrap().kron(&Gate::Rz(1.3).matrix2().unwrap());
+        let u = Gate::Ry(0.7)
+            .matrix2()
+            .unwrap()
+            .kron(&Gate::Rz(1.3).matrix2().unwrap());
         let m = to_magic(&u);
         for r in 0..4 {
             for c in 0..4 {

@@ -102,7 +102,13 @@ fn push_local(out: &mut Vec<Instruction>, m: &Matrix2, qubit: usize) {
 
 /// Emits a circuit implementing `exp(i(αXX + βYY + γZZ))` (up to global
 /// phase) on `(q0, q1)` using as few CNOTs as the angle pattern allows.
-pub fn interaction_circuit(alpha: f64, beta: f64, gamma: f64, q0: usize, q1: usize) -> Vec<Instruction> {
+pub fn interaction_circuit(
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+    q0: usize,
+    q1: usize,
+) -> Vec<Instruction> {
     let active = |x: f64| x.abs() > ANGLE_TOL;
     let axes = [active(alpha), active(beta), active(gamma)];
     let count = axes.iter().filter(|&&a| a).count();
@@ -321,7 +327,10 @@ mod tests {
             (Gate::Swap.matrix4().unwrap(), 3),
             (Gate::Crx(1.1).matrix4().unwrap(), 2),
             (Matrix4::swap().mul(&Matrix4::cnot()), 2),
-            (Gate::H.matrix2().unwrap().kron(&Gate::T.matrix2().unwrap()), 0),
+            (
+                Gate::H.matrix2().unwrap().kron(&Gate::T.matrix2().unwrap()),
+                0,
+            ),
         ];
         for (m, cost) in cases {
             let circ = synthesize_two_qubit(&m, 0, 1).expect("synthesis");
@@ -335,20 +344,35 @@ mod tests {
     fn synthesizes_random_two_qubit_unitaries() {
         let mut rng = StdRng::seed_from_u64(21);
         for _ in 0..60 {
-            let k1 = Gate::U(rng.gen_range(0.0..3.0), rng.gen_range(-3.0..3.0), rng.gen_range(-3.0..3.0))
-                .matrix2()
-                .unwrap()
-                .kron(&Gate::U(rng.gen_range(0.0..3.0), rng.gen_range(-3.0..3.0), 0.2).matrix2().unwrap());
+            let k1 = Gate::U(
+                rng.gen_range(0.0..3.0),
+                rng.gen_range(-3.0..3.0),
+                rng.gen_range(-3.0..3.0),
+            )
+            .matrix2()
+            .unwrap()
+            .kron(
+                &Gate::U(rng.gen_range(0.0..3.0), rng.gen_range(-3.0..3.0), 0.2)
+                    .matrix2()
+                    .unwrap(),
+            );
             let k2 = Gate::U(rng.gen_range(0.0..3.0), 0.3, -0.8)
                 .matrix2()
                 .unwrap()
-                .kron(&Gate::U(rng.gen_range(0.0..3.0), 1.0, 0.0).matrix2().unwrap());
+                .kron(
+                    &Gate::U(rng.gen_range(0.0..3.0), 1.0, 0.0)
+                        .matrix2()
+                        .unwrap(),
+                );
             let a = interaction_matrix(
                 rng.gen_range(-1.5..1.5),
                 rng.gen_range(-1.5..1.5),
                 rng.gen_range(-1.5..1.5),
             );
-            let target = k1.mul(&a).mul(&k2).scale(C64::exp_i(rng.gen_range(-3.0..3.0)));
+            let target = k1
+                .mul(&a)
+                .mul(&k2)
+                .scale(C64::exp_i(rng.gen_range(-3.0..3.0)));
             let circ = synthesize_two_qubit(&target, 0, 1).expect("synthesis");
             assert!(circuit_matrix(&circ).approx_eq_up_to_phase(&target, 1e-6));
             assert!(cx_count(&circ) <= 3);
@@ -357,7 +381,10 @@ mod tests {
 
     #[test]
     fn swap_decompositions_are_correct_and_differ_in_first_control() {
-        for orientation in [SwapOrientation::FirstQubitControl, SwapOrientation::SecondQubitControl] {
+        for orientation in [
+            SwapOrientation::FirstQubitControl,
+            SwapOrientation::SecondQubitControl,
+        ] {
             let circ = swap_decomposition(0, 1, orientation);
             assert_eq!(circ.len(), 3);
             assert!(circuit_matrix(&circ).approx_eq_up_to_phase(&Matrix4::swap(), 1e-10));
@@ -384,7 +411,9 @@ mod tests {
     fn locals_near_identity_are_skipped() {
         let circ = synthesize_two_qubit(&Matrix4::cnot(), 0, 1).expect("synthesis");
         // A plain CNOT needs no single-qubit dressing at all.
-        assert!(circ.iter().all(|i| i.gate == Gate::Cx || i.gate.num_qubits() == 1));
+        assert!(circ
+            .iter()
+            .all(|i| i.gate == Gate::Cx || i.gate.num_qubits() == 1));
         assert_eq!(cx_count(&circ), 1);
     }
 }

@@ -17,7 +17,7 @@
 //! factors off the orthogonal diagonaliser.
 
 use nassc_math::eigen::{jacobi_eigen, RealMatrix};
-use nassc_math::{C64, Matrix2, Matrix4};
+use nassc_math::{Matrix2, Matrix4, C64};
 use std::fmt;
 
 use crate::local::{from_magic, interaction_matrix, magic_signatures, split_kron, to_magic};
@@ -79,7 +79,9 @@ impl WeylDecomposition {
     /// rare).
     pub fn new(u: &Matrix4) -> Result<Self, DecomposeUnitaryError> {
         if !u.is_unitary(1e-7) {
-            return Err(DecomposeUnitaryError { message: "input matrix is not unitary".into() });
+            return Err(DecomposeUnitaryError {
+                message: "input matrix is not unitary".into(),
+            });
         }
 
         // Normalise to SU(4) and move to the magic basis.
@@ -112,8 +114,15 @@ impl WeylDecomposition {
         // Diagonalise cos(r)·Re + sin(r)·Im for a generic mixing angle; for a
         // generic angle the eigenvalues are simple and the eigenvectors
         // diagonalise both parts simultaneously.
-        let mixing_angles: [f64; 7] =
-            [0.614_352_1, 1.170_313, 0.0, 2.035_77, 0.333_33, 2.718_28, 1.570_796];
+        let mixing_angles: [f64; 7] = [
+            0.614_352_1,
+            1.170_313,
+            0.0,
+            2.035_77,
+            0.333_33,
+            std::f64::consts::E,
+            std::f64::consts::FRAC_PI_2,
+        ];
         let mut chosen_p: Option<RealMatrix> = None;
         for &ang in &mixing_angles {
             let mut mix = RealMatrix::zeros(4);
@@ -142,21 +151,20 @@ impl WeylDecomposition {
 
         // Eigenphases of M2 on the diagonal of Pᵀ M2 P.
         let mut theta = [0.0_f64; 4];
-        for j in 0..4 {
+        for (j, th) in theta.iter_mut().enumerate() {
             let mut acc = C64::zero();
             for r in 0..4 {
                 for c in 0..4 {
                     acc += m2.get(r, c).scale(p.get(r, j) * p.get(c, j));
                 }
             }
-            theta[j] = acc.arg() / 2.0;
+            *th = acc.arg() / 2.0;
         }
 
         // Fix the half-angle branch parity: the left local factor lies in
         // SO(4) (i.e. is a tensor product of single-qubit gates) only when
         // the eigenphases sum to 0 mod 2π. Flipping one branch by π toggles
         // the parity without affecting anything else.
-        let mut theta = theta;
         let phase_sum = C64::exp_i(theta.iter().sum::<f64>());
         if (phase_sum - C64::one()).abs() > 0.5 {
             theta[0] += std::f64::consts::PI;
@@ -174,9 +182,10 @@ impl WeylDecomposition {
         let mean = theta.iter().sum::<f64>() / 4.0;
         let centred: Vec<f64> = theta.iter().map(|t| t - mean).collect();
         let sigs = magic_signatures();
-        let (alpha, beta, gamma) = solve_interaction_angles(&centred, &sigs).ok_or_else(|| {
-            DecomposeUnitaryError { message: "eigenphases are inconsistent with XX/YY/ZZ axes".into() }
-        })?;
+        let (alpha, beta, gamma) =
+            solve_interaction_angles(&centred, &sigs).ok_or_else(|| DecomposeUnitaryError {
+                message: "eigenphases are inconsistent with XX/YY/ZZ axes".into(),
+            })?;
 
         // Local factors: K̂2 = Pᵀ, K̂1 = Um · P · diag(e^{-iθ}).
         let k1_hat = left_factor(&um, &p, &theta);
@@ -221,7 +230,9 @@ impl WeylDecomposition {
     pub fn reconstruct(&self) -> Matrix4 {
         let k1 = self.k1l.kron(&self.k1r);
         let k2 = self.k2l.kron(&self.k2r);
-        k1.mul(&self.canonical_matrix()).mul(&k2).scale(C64::exp_i(self.phase))
+        k1.mul(&self.canonical_matrix())
+            .mul(&k2)
+            .scale(C64::exp_i(self.phase))
     }
 
     /// The interaction angles `(α, β, γ)`.
@@ -233,7 +244,10 @@ impl WeylDecomposition {
     /// equals the CNOT count of the re-synthesis this crate emits, except for
     /// the single-axis ±π/4 case which needs only one CNOT.
     pub fn entangling_axes(&self) -> usize {
-        [self.alpha, self.beta, self.gamma].iter().filter(|a| a.abs() > 1e-7).count()
+        [self.alpha, self.beta, self.gamma]
+            .iter()
+            .filter(|a| a.abs() > 1e-7)
+            .count()
     }
 
     /// The number of CNOTs [`crate::synthesize_two_qubit`] will emit for this
@@ -307,7 +321,9 @@ impl WeylDecomposition {
         if adjusted.approx_eq(original, 1e-6) {
             Ok(())
         } else {
-            Err(DecomposeUnitaryError { message: "reconstruction does not match the input".into() })
+            Err(DecomposeUnitaryError {
+                message: "reconstruction does not match the input".into(),
+            })
         }
     }
 }
@@ -316,12 +332,12 @@ impl WeylDecomposition {
 fn left_factor(um: &Matrix4, p: &RealMatrix, theta: &[f64; 4]) -> Matrix4 {
     let mut out = Matrix4::identity();
     for r in 0..4 {
-        for c in 0..4 {
+        for (c, th) in theta.iter().enumerate() {
             let mut acc = C64::zero();
             for k in 0..4 {
                 acc += um.get(r, k).scale(p.get(k, c));
             }
-            out.set(r, c, acc * C64::exp_i(-theta[c]));
+            out.set(r, c, acc * C64::exp_i(-th));
         }
     }
     out
@@ -369,7 +385,8 @@ fn solve_interaction_angles(theta: &[f64], sigs: &[[f64; 4]; 3]) -> Option<(f64,
     // Normal equations of the 4×3 least-squares system; the signature rows
     // are orthogonal (they are distinct non-trivial ±1 patterns summing to
     // zero), so the system is diagonal: coefficient = <θ, s> / 4.
-    let dot = |s: &[f64; 4]| -> f64 { theta.iter().zip(s.iter()).map(|(t, x)| t * x).sum::<f64>() / 4.0 };
+    let dot =
+        |s: &[f64; 4]| -> f64 { theta.iter().zip(s.iter()).map(|(t, x)| t * x).sum::<f64>() / 4.0 };
     let alpha = dot(&sigs[0]);
     let beta = dot(&sigs[1]);
     let gamma = dot(&sigs[2]);
@@ -412,7 +429,9 @@ mod tests {
             rng.gen_range(-1.5..1.5),
             rng.gen_range(-1.5..1.5),
         );
-        k1.mul(&a).mul(&k2).scale(C64::exp_i(rng.gen_range(-3.0..3.0)))
+        k1.mul(&a)
+            .mul(&k2)
+            .scale(C64::exp_i(rng.gen_range(-3.0..3.0)))
     }
 
     #[test]
@@ -426,7 +445,11 @@ mod tests {
         ] {
             let m = gate.matrix4().unwrap();
             let d = WeylDecomposition::new(&m).unwrap_or_else(|e| panic!("{}: {e}", gate.name()));
-            assert!(d.reconstruct().approx_eq(&m, 1e-7), "{} reconstruction", gate.name());
+            assert!(
+                d.reconstruct().approx_eq(&m, 1e-7),
+                "{} reconstruction",
+                gate.name()
+            );
             assert_eq!(d.entangling_axes(), axes, "{} axes", gate.name());
         }
     }
@@ -462,7 +485,10 @@ mod tests {
         for i in 0..120 {
             let m = random_two_qubit(&mut rng);
             let d = WeylDecomposition::new(&m).unwrap_or_else(|e| panic!("case {i}: {e}"));
-            assert!(d.reconstruct().approx_eq(&m, 1e-6), "case {i} reconstruction failed");
+            assert!(
+                d.reconstruct().approx_eq(&m, 1e-6),
+                "case {i} reconstruction failed"
+            );
             assert!(d.alpha.abs() <= std::f64::consts::FRAC_PI_2 + 1e-9);
             assert!(d.beta.abs() <= std::f64::consts::FRAC_PI_2 + 1e-9);
             assert!(d.gamma.abs() <= std::f64::consts::FRAC_PI_2 + 1e-9);
@@ -501,7 +527,9 @@ mod tests {
 
     #[test]
     fn error_type_displays() {
-        let err = DecomposeUnitaryError { message: "boom".into() };
+        let err = DecomposeUnitaryError {
+            message: "boom".into(),
+        };
         assert!(format!("{err}").contains("boom"));
     }
 }

@@ -62,8 +62,12 @@ impl Calibration {
             cx.insert((a, b), rng.gen_range(0.006..0.025));
             dur.insert((a, b), rng.gen_range(250.0..550.0));
         }
-        let sq_error = (0..coupling.num_qubits()).map(|_| rng.gen_range(0.0002..0.001)).collect();
-        let readout_error = (0..coupling.num_qubits()).map(|_| rng.gen_range(0.01..0.04)).collect();
+        let sq_error = (0..coupling.num_qubits())
+            .map(|_| rng.gen_range(0.0002..0.001))
+            .collect();
+        let readout_error = (0..coupling.num_qubits())
+            .map(|_| rng.gen_range(0.01..0.04))
+            .collect();
         Self {
             num_qubits: coupling.num_qubits(),
             cx_error: cx,
@@ -116,7 +120,11 @@ pub struct NoiseAwareAlphas {
 impl Default for NoiseAwareAlphas {
     /// The paper's setting: `(0.5, 0, 0.5)`.
     fn default() -> Self {
-        Self { alpha_error: 0.5, alpha_time: 0.0, alpha_distance: 0.5 }
+        Self {
+            alpha_error: 0.5,
+            alpha_time: 0.0,
+            alpha_distance: 0.5,
+        }
     }
 }
 
@@ -185,9 +193,7 @@ pub fn noise_aware_distance(
         }
     }
 
-    let hops: Vec<usize> = (0..n * n)
-        .map(|idx| base.hops(idx / n, idx % n))
-        .collect();
+    let hops: Vec<usize> = (0..n * n).map(|idx| base.hops(idx / n, idx % n)).collect();
     DistanceMatrix::from_hops(n, hops).with_weights(weights)
 }
 

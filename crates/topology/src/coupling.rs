@@ -38,7 +38,10 @@ impl CouplingMap {
         let mut normalized: Vec<(usize, usize)> = Vec::new();
         let mut adjacency = vec![Vec::new(); num_qubits];
         for &(a, b) in edges {
-            assert!(a < num_qubits && b < num_qubits, "edge ({a},{b}) out of range");
+            assert!(
+                a < num_qubits && b < num_qubits,
+                "edge ({a},{b}) out of range"
+            );
             assert_ne!(a, b, "self-loop edge ({a},{b}) is not allowed");
             let e = (a.min(b), a.max(b));
             if !normalized.contains(&e) {
@@ -50,7 +53,11 @@ impl CouplingMap {
         for neighbors in &mut adjacency {
             neighbors.sort_unstable();
         }
-        Self { num_qubits, edges: normalized, adjacency }
+        Self {
+            num_qubits,
+            edges: normalized,
+            adjacency,
+        }
     }
 
     /// A 1-D nearest-neighbour chain of `n` qubits.

@@ -19,7 +19,13 @@ impl DistanceMatrix {
         assert_eq!(hops.len(), n * n);
         let weights = hops
             .iter()
-            .map(|&h| if h == usize::MAX { f64::INFINITY } else { h as f64 })
+            .map(|&h| {
+                if h == usize::MAX {
+                    f64::INFINITY
+                } else {
+                    h as f64
+                }
+            })
             .collect();
         Self { n, hops, weights }
     }
@@ -30,7 +36,13 @@ impl DistanceMatrix {
         assert_eq!(weights.len(), n * n);
         let hops = weights
             .iter()
-            .map(|&w| if w.is_finite() { w.round() as usize } else { usize::MAX })
+            .map(|&w| {
+                if w.is_finite() {
+                    w.round() as usize
+                } else {
+                    usize::MAX
+                }
+            })
             .collect();
         Self { n, hops, weights }
     }
@@ -60,7 +72,12 @@ impl DistanceMatrix {
 
     /// The largest finite hop count in the matrix.
     pub fn max_hops(&self) -> usize {
-        self.hops.iter().copied().filter(|&h| h != usize::MAX).max().unwrap_or(0)
+        self.hops
+            .iter()
+            .copied()
+            .filter(|&h| h != usize::MAX)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -84,7 +101,8 @@ mod tests {
 
     #[test]
     fn weights_can_be_overridden() {
-        let d = DistanceMatrix::from_hops(2, vec![0, 1, 1, 0]).with_weights(vec![0.0, 2.5, 2.5, 0.0]);
+        let d =
+            DistanceMatrix::from_hops(2, vec![0, 1, 1, 0]).with_weights(vec![0.0, 2.5, 2.5, 0.0]);
         assert_eq!(d.hops(0, 1), 1);
         assert!((d.weight(0, 1) - 2.5).abs() < 1e-12);
     }

@@ -56,7 +56,10 @@ impl Layout {
             );
             physical_to_logical[physical] = logical;
         }
-        Self { logical_to_physical: assignment, physical_to_logical }
+        Self {
+            logical_to_physical: assignment,
+            physical_to_logical,
+        }
     }
 
     /// A uniformly random layout over `n` qubits.

@@ -18,7 +18,11 @@ fn main() {
 
     let device = CouplingMap::linear(5);
     let baseline = optimize_without_routing(&circuit).expect("baseline optimization");
-    println!("original circuit: {} CNOTs, depth {}", baseline.cx_count(), baseline.depth());
+    println!(
+        "original circuit: {} CNOTs, depth {}",
+        baseline.cx_count(),
+        baseline.depth()
+    );
 
     let sabre = transpile(&circuit, &device, &TranspileOptions::sabre(7)).expect("sabre");
     let nassc = transpile(&circuit, &device, &TranspileOptions::nassc(7)).expect("nassc");

@@ -21,9 +21,18 @@ fn main() {
 
     // Next to a generic three-CNOT block the SWAP is free.
     let mut block = QuantumCircuit::new(2);
-    block.cx(0, 1).rz(0.31, 1).ry(0.7, 0).cx(1, 0).rz(0.9, 0).cx(0, 1).ry(1.2, 1);
+    block
+        .cx(0, 1)
+        .rz(0.31, 1)
+        .ry(0.7, 0)
+        .cx(1, 0)
+        .rz(0.9, 0)
+        .cx(0, 1)
+        .ry(1.2, 1);
     block.swap(0, 1);
-    let optimized = standard_optimization_pipeline().run(&block).expect("optimization");
+    let optimized = standard_optimization_pipeline()
+        .run(&block)
+        .expect("optimization");
     println!(
         "SWAP appended to a 3-CNOT block : {} CNOTs after re-synthesis (0 extra)",
         optimized.cx_count()
@@ -34,11 +43,15 @@ fn main() {
     let mut cancellation = QuantumCircuit::new(3);
     cancellation.cx(2, 1); // original gate
     cancellation.cx(1, 2).cx(2, 1).cx(1, 2); // badly oriented SWAP
-    let bad = standard_optimization_pipeline().run(&cancellation).expect("optimization");
+    let bad = standard_optimization_pipeline()
+        .run(&cancellation)
+        .expect("optimization");
     let mut oriented = QuantumCircuit::new(3);
     oriented.cx(2, 1);
     oriented.cx(2, 1).cx(1, 2).cx(2, 1); // optimization-aware orientation
-    let good = standard_optimization_pipeline().run(&oriented).expect("optimization");
+    let good = standard_optimization_pipeline()
+        .run(&oriented)
+        .expect("optimization");
     println!(
         "SWAP after a commuting CNOT     : {} CNOTs with the fixed template, {} with the optimization-aware orientation",
         bad.cx_count(),

@@ -11,7 +11,9 @@ use nassc_topology::CouplingMap;
 
 fn main() {
     let circuit = qft(10);
-    let baseline = optimize_without_routing(&circuit).expect("baseline").cx_count();
+    let baseline = optimize_without_routing(&circuit)
+        .expect("baseline")
+        .cx_count();
     println!("QFT-10: {baseline} CNOTs before routing\n");
 
     let devices = [

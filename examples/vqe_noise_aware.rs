@@ -20,15 +20,30 @@ fn main() {
     let variants = [
         ("SABRE", TranspileOptions::sabre(3)),
         ("NASSC", TranspileOptions::nassc(3)),
-        ("SABRE+HA", TranspileOptions::sabre(3).with_calibration(calibration.clone())),
-        ("NASSC+HA", TranspileOptions::nassc(3).with_calibration(calibration)),
+        (
+            "SABRE+HA",
+            TranspileOptions::sabre(3).with_calibration(calibration.clone()),
+        ),
+        (
+            "NASSC+HA",
+            TranspileOptions::nassc(3).with_calibration(calibration),
+        ),
     ];
 
     println!("Bernstein-Vazirani (5 qubits) on ibmq_montreal, {shots} shots\n");
-    println!("{:<10} {:>7} {:>7} {:>13}", "router", "CNOTs", "depth", "success rate");
+    println!(
+        "{:<10} {:>7} {:>7} {:>13}",
+        "router", "CNOTs", "depth", "success rate"
+    );
     for (name, options) in variants {
         let result = transpile(&circuit, &device, &options).expect("transpile");
         let rate = success_rate(&result.circuit, &noise, shots, 7);
-        println!("{:<10} {:>7} {:>7} {:>12.1}%", name, result.cx_count(), result.depth(), 100.0 * rate);
+        println!(
+            "{:<10} {:>7} {:>7} {:>12.1}%",
+            name,
+            result.cx_count(),
+            result.depth(),
+            100.0 * rate
+        );
     }
 }

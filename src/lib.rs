@@ -1,3 +1,2 @@
 //! Umbrella crate: integration tests and examples for the NASSC reproduction.
 pub use nassc;
-

@@ -41,7 +41,11 @@ fn assert_same_output_distribution(logical: &QuantumCircuit, physical: &QuantumC
     };
     let expected = probabilities(&logical_c);
     let actual = probabilities(&physical_c);
-    assert_eq!(expected.len(), actual.len(), "different number of output branches");
+    assert_eq!(
+        expected.len(),
+        actual.len(),
+        "different number of output branches"
+    );
     for (e, a) in expected.iter().zip(actual.iter()) {
         assert!((e - a).abs() < 1e-6, "probability mismatch: {e} vs {a}");
     }
@@ -129,7 +133,11 @@ fn all_optimization_flag_combinations_produce_valid_circuits() {
     for flags in OptimizationFlags::all_combinations() {
         let options = TranspileOptions::nassc_with_flags(9, flags);
         let result = transpile(&circuit, &device, &options).unwrap();
-        assert!(is_mapped(&result.circuit, &device), "flags {}", flags.label());
+        assert!(
+            is_mapped(&result.circuit, &device),
+            "flags {}",
+            flags.label()
+        );
     }
 }
 
