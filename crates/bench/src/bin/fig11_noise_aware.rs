@@ -1,22 +1,86 @@
 //! Figure 11: additional CNOTs and success rates of SABRE, NASSC and their
 //! noise-aware (+HA) variants under the `ibmq_montreal` noise model.
+//!
+//! Always runs the dedicated noise suite (`--full` does not apply and is
+//! warned about); `--runs N` averages each variant over `N` routing seeds,
+//! `--shots N` controls the per-circuit noisy simulation.
 
-use nassc::{optimize_without_routing, transpile, TranspileOptions};
+use nassc::{optimize_without_routing, transpile_batch_prepared, BatchJob, TranspileOptions};
+use nassc_bench::{cli_usize, BenchReport, HarnessArgs, ReportRow};
+use nassc_parallel::parallel_map;
 use nassc_sim::{success_rate, NoiseModel};
 use nassc_topology::{Calibration, CouplingMap};
 
+const VARIANT_NAMES: [&str; 4] = ["sabre", "nassc", "sabre_ha", "nassc_ha"];
+
+/// Routing seed of run `r` (run 0 matches the old single-seed harness).
+fn seed(run: usize) -> u64 {
+    11 + run as u64
+}
+
 fn main() {
-    let shots: usize = std::env::args()
-        .collect::<Vec<_>>()
-        .windows(2)
-        .find(|w| w[0] == "--shots")
-        .and_then(|w| w[1].parse().ok())
-        .unwrap_or(8192);
+    let args = HarnessArgs::from_env();
+    if args.full {
+        eprintln!("warning: --full has no effect; Figure 11 always uses the noise suite");
+    }
+    let shots: usize = cli_usize("--shots").unwrap_or(8192);
     let device = CouplingMap::ibmq_montreal();
     let calibration = Calibration::synthetic(&device, 2022);
     let noise = NoiseModel::from_calibration(&device, calibration.clone());
+    let benchmarks = nassc_benchmarks::noise_benchmarks();
 
-    println!("== Figure 11 — noise-aware routing on ibmq_montreal (shots = {shots}) ==");
+    let variant_option = |variant: usize, run: usize| match variant {
+        0 => TranspileOptions::sabre(seed(run)),
+        1 => TranspileOptions::nassc(seed(run)),
+        2 => TranspileOptions::sabre(seed(run)).with_calibration(calibration.clone()),
+        _ => TranspileOptions::nassc(seed(run)).with_calibration(calibration.clone()),
+    };
+
+    // Prepare each benchmark once: the prepared circuit is both the
+    // unrouted CNOT baseline and the batch input.
+    let prepared = parallel_map(benchmarks.iter().collect(), |b| {
+        optimize_without_routing(&b.circuit).expect("baseline")
+    });
+    // The full (benchmark × variant × run) grid in one batch.
+    let mut jobs: Vec<BatchJob> = Vec::with_capacity(prepared.len() * 4 * args.runs);
+    for circuit in &prepared {
+        for variant in 0..4 {
+            for run in 0..args.runs {
+                jobs.push(BatchJob::new(
+                    circuit,
+                    &device,
+                    variant_option(variant, run),
+                ));
+            }
+        }
+    }
+    eprintln!(
+        "routing {} jobs, then simulating with {} shots each...",
+        jobs.len(),
+        shots
+    );
+    let routed = transpile_batch_prepared(&jobs);
+    // The noisy shot simulations dominate wall-clock; fan them out too
+    // (the per-call seed is fixed, so rates match the serial harness).
+    let rates = parallel_map(routed.iter().collect(), |result| {
+        success_rate(
+            &result.as_ref().expect("transpile").circuit,
+            &noise,
+            shots,
+            97,
+        )
+    });
+
+    let mut report = BenchReport::new(
+        "fig11_noise_aware",
+        "Figure 11 — noise-aware routing and success rates on ibmq_montreal",
+        "noise",
+        args.runs,
+    );
+    println!(
+        "== Figure 11 — noise-aware routing on ibmq_montreal (shots = {shots}, runs = {}) ==",
+        args.runs
+    );
     println!(
         "{:<16} {:>10} {:>10} {:>10} {:>10} | {:>8} {:>8} {:>8} {:>8}",
         "benchmark",
@@ -29,35 +93,55 @@ fn main() {
         "S+HA",
         "N+HA"
     );
-    for bench in nassc_benchmarks::noise_benchmarks() {
-        eprintln!("routing and simulating {}...", bench.name);
-        let baseline = optimize_without_routing(&bench.circuit)
-            .expect("baseline")
-            .cx_count();
-        let variants = [
-            TranspileOptions::sabre(11),
-            TranspileOptions::nassc(11),
-            TranspileOptions::sabre(11).with_calibration(calibration.clone()),
-            TranspileOptions::nassc(11).with_calibration(calibration.clone()),
-        ];
-        let mut added = Vec::new();
-        let mut rates = Vec::new();
-        for options in &variants {
-            let result = transpile(&bench.circuit, &device, options).expect("transpile");
-            added.push(result.cx_count().saturating_sub(baseline));
-            rates.push(success_rate(&result.circuit, &noise, shots, 97));
+    let per_bench = 4 * args.runs;
+    let mut rate_sums = [0.0f64; 4];
+    for (index, bench) in benchmarks.iter().enumerate() {
+        let baseline = prepared[index].cx_count();
+        let mean = |values: &mut dyn Iterator<Item = f64>| -> f64 {
+            values.sum::<f64>() / args.runs.max(1) as f64
+        };
+        let mut added = [0.0f64; 4];
+        let mut bench_rates = [0.0f64; 4];
+        for variant in 0..4 {
+            let start = index * per_bench + variant * args.runs;
+            added[variant] = mean(&mut routed[start..start + args.runs].iter().map(|r| {
+                r.as_ref()
+                    .expect("transpile")
+                    .cx_count()
+                    .saturating_sub(baseline) as f64
+            }));
+            bench_rates[variant] = mean(&mut rates[start..start + args.runs].iter().copied());
         }
         println!(
-            "{:<16} {:>10} {:>10} {:>10} {:>10} | {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            "{:<16} {:>10.1} {:>10.1} {:>10.1} {:>10.1} | {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
             bench.name,
             added[0],
             added[1],
             added[2],
             added[3],
-            rates[0],
-            rates[1],
-            rates[2],
-            rates[3]
+            bench_rates[0],
+            bench_rates[1],
+            bench_rates[2],
+            bench_rates[3]
         );
+        let mut metrics = vec![("baseline_cx".to_string(), baseline as f64)];
+        for (v, name) in VARIANT_NAMES.iter().enumerate() {
+            metrics.push((format!("added_cx_{name}"), added[v]));
+            metrics.push((format!("rate_{name}"), bench_rates[v]));
+            rate_sums[v] += bench_rates[v];
+        }
+        report.rows.push(ReportRow {
+            name: bench.name.to_string(),
+            qubits: bench.qubits,
+            metrics,
+        });
     }
+    for (v, name) in VARIANT_NAMES.iter().enumerate() {
+        report.summary.push((
+            format!("mean_rate_{name}"),
+            rate_sums[v] / benchmarks.len().max(1) as f64,
+        ));
+    }
+    report.summary.push(("shots".to_string(), shots as f64));
+    args.emit_report(&report);
 }

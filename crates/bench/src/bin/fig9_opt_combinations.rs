@@ -1,49 +1,93 @@
 //! Figure 9: CNOT reduction of the best of the 8 optimization-flag
 //! combinations versus enabling all three, on each coupling map.
 
-use nassc::{transpile, OptimizationFlags, TranspileOptions};
-use nassc_bench::{relative_reduction, HarnessArgs};
+use nassc::{
+    optimize_without_routing, transpile_batch_prepared, BatchJob, OptimizationFlags,
+    TranspileOptions,
+};
+use nassc_bench::{
+    geometric_mean_reduction, relative_reduction, BenchReport, HarnessArgs, ReportRow,
+};
+use nassc_parallel::parallel_map;
 use nassc_topology::CouplingMap;
+
+/// Seed of run `r` (kept from the serial harness so outputs stay comparable).
+fn seed(run: usize) -> u64 {
+    2000 + run as u64
+}
 
 fn main() {
     let args = HarnessArgs::from_env();
+    let suite = args.suite();
+    let combinations = OptimizationFlags::all_combinations();
     let maps: Vec<(&str, CouplingMap)> = vec![
         ("ibmq_montreal", CouplingMap::ibmq_montreal()),
         ("linear-25", CouplingMap::linear(25)),
         ("grid-5x5", CouplingMap::grid(5, 5)),
     ];
-    for (map_name, device) in maps {
+    let mut report = BenchReport::new(
+        "fig9_opt_combinations",
+        "Figure 9 — best-of-8 flag combinations vs all-enabled",
+        args.suite_label(),
+        args.runs,
+    );
+
+    // Pre-routing optimization is device-independent: prepare the suite once
+    // and share the prepared circuits across all three maps' batches.
+    let prepared = parallel_map(suite.iter().collect(), |b| {
+        optimize_without_routing(&b.circuit).expect("preparation")
+    });
+
+    for (map_name, device) in &maps {
+        // One batch per map: for each benchmark, `runs` SABRE baselines
+        // followed by `runs` jobs per flag combination.
+        let variants_per_bench = args.runs * (1 + combinations.len());
+        let mut jobs = Vec::with_capacity(suite.len() * variants_per_bench);
+        for circuit in &prepared {
+            for run in 0..args.runs {
+                jobs.push(BatchJob::new(
+                    circuit,
+                    device,
+                    TranspileOptions::sabre(seed(run)),
+                ));
+            }
+            for &flags in &combinations {
+                for run in 0..args.runs {
+                    jobs.push(BatchJob::new(
+                        circuit,
+                        device,
+                        TranspileOptions::nassc_with_flags(seed(run), flags),
+                    ));
+                }
+            }
+        }
+        eprintln!("[{map_name}] transpiling {} jobs...", jobs.len());
+        let results = transpile_batch_prepared(&jobs);
+        let mean_cx = |slice: &[Result<nassc::TranspileResult, _>]| -> f64 {
+            slice
+                .iter()
+                .map(|r| r.as_ref().expect("transpile").cx_count() as f64)
+                .sum::<f64>()
+                / args.runs as f64
+        };
+
         println!("\n== Figure 9 — {map_name} ==");
         println!(
             "{:<22} {:>12} {:>12} {:>14}",
             "benchmark", "best-of-8", "all-enabled", "best flags"
         );
-        for bench in args.suite() {
-            eprintln!("[{map_name}] sweeping {}...", bench.name);
-            let sabre_cx: f64 = (0..args.runs)
-                .map(|r| {
-                    transpile(
-                        &bench.circuit,
-                        &device,
-                        &TranspileOptions::sabre(2000 + r as u64),
-                    )
-                    .expect("sabre")
-                    .cx_count() as f64
-                })
-                .sum::<f64>()
-                / args.runs as f64;
+        let mut best_deltas = Vec::new();
+        let mut all_enabled_deltas = Vec::new();
+        for (index, bench) in suite.iter().enumerate() {
+            let per_bench = &results[index * variants_per_bench..(index + 1) * variants_per_bench];
+            let sabre_cx = mean_cx(&per_bench[..args.runs]);
+            let mut metrics = vec![("sabre_cx".to_string(), sabre_cx)];
             let mut best = (f64::MAX, String::new());
             let mut all_enabled = 0.0;
-            for flags in OptimizationFlags::all_combinations() {
-                let cx: f64 = (0..args.runs)
-                    .map(|r| {
-                        let options = TranspileOptions::nassc_with_flags(2000 + r as u64, flags);
-                        transpile(&bench.circuit, &device, &options)
-                            .expect("nassc")
-                            .cx_count() as f64
-                    })
-                    .sum::<f64>()
-                    / args.runs as f64;
+            for (c, &flags) in combinations.iter().enumerate() {
+                let offset = args.runs * (1 + c);
+                let cx = mean_cx(&per_bench[offset..offset + args.runs]);
+                metrics.push((format!("cx_{}", flags.label()), cx));
                 if cx < best.0 {
                     best = (cx, flags.label());
                 }
@@ -51,13 +95,34 @@ fn main() {
                     all_enabled = cx;
                 }
             }
+            let best_delta = relative_reduction(best.0, sabre_cx);
+            let all_enabled_delta = relative_reduction(all_enabled, sabre_cx);
+            best_deltas.push(best_delta);
+            all_enabled_deltas.push(all_enabled_delta);
+            metrics.push(("best_of_8_delta".to_string(), best_delta));
+            metrics.push(("all_enabled_delta".to_string(), all_enabled_delta));
             println!(
                 "{:<22} {:>11.2}% {:>11.2}% {:>14}",
                 bench.name,
-                100.0 * relative_reduction(best.0, sabre_cx),
-                100.0 * relative_reduction(all_enabled, sabre_cx),
+                100.0 * best_delta,
+                100.0 * all_enabled_delta,
                 best.1
             );
+            report.rows.push(ReportRow {
+                name: format!("{map_name}/{}", bench.name),
+                qubits: bench.qubits,
+                metrics,
+            });
         }
+        report.summary.push((
+            format!("geomean_best_of_8_{map_name}"),
+            geometric_mean_reduction(&best_deltas),
+        ));
+        report.summary.push((
+            format!("geomean_all_enabled_{map_name}"),
+            geometric_mean_reduction(&all_enabled_deltas),
+        ));
     }
+
+    args.emit_report(&report);
 }

@@ -1,18 +1,13 @@
 //! Table II: circuit depth of NASSC vs Qiskit+SABRE on `ibmq_montreal`.
 
-use nassc_bench::{compare_benchmark, print_depth_table, HarnessArgs};
+use nassc_bench::{run_table_binary, TableKind};
 use nassc_topology::CouplingMap;
 
 fn main() {
-    let args = HarnessArgs::from_env();
-    let device = CouplingMap::ibmq_montreal();
-    let rows: Vec<_> = args
-        .suite()
-        .iter()
-        .map(|b| {
-            eprintln!("transpiling {} ({} qubits)...", b.name, b.qubits);
-            compare_benchmark(b, &device, args.runs)
-        })
-        .collect();
-    print_depth_table("Table II — circuit depth on ibmq_montreal", &rows);
+    run_table_binary(
+        "table2_depth_montreal",
+        "Table II — circuit depth on ibmq_montreal",
+        &CouplingMap::ibmq_montreal(),
+        TableKind::Depth,
+    );
 }

@@ -1,18 +1,13 @@
 //! Table III: additional CNOT gates on the 25-qubit linear topology.
 
-use nassc_bench::{compare_benchmark, print_cnot_table, HarnessArgs};
+use nassc_bench::{run_table_binary, TableKind};
 use nassc_topology::CouplingMap;
 
 fn main() {
-    let args = HarnessArgs::from_env();
-    let device = CouplingMap::linear(25);
-    let rows: Vec<_> = args
-        .suite()
-        .iter()
-        .map(|b| {
-            eprintln!("transpiling {} ({} qubits)...", b.name, b.qubits);
-            compare_benchmark(b, &device, args.runs)
-        })
-        .collect();
-    print_cnot_table("Table III — additional CNOTs on the 25-qubit line", &rows);
+    run_table_binary(
+        "table3_cnot_linear",
+        "Table III — additional CNOTs on the 25-qubit line",
+        &CouplingMap::linear(25),
+        TableKind::Cnot,
+    );
 }

@@ -1,18 +1,13 @@
 //! Table IV: additional CNOT gates on the 5×5 grid topology.
 
-use nassc_bench::{compare_benchmark, print_cnot_table, HarnessArgs};
+use nassc_bench::{run_table_binary, TableKind};
 use nassc_topology::CouplingMap;
 
 fn main() {
-    let args = HarnessArgs::from_env();
-    let device = CouplingMap::grid(5, 5);
-    let rows: Vec<_> = args
-        .suite()
-        .iter()
-        .map(|b| {
-            eprintln!("transpiling {} ({} qubits)...", b.name, b.qubits);
-            compare_benchmark(b, &device, args.runs)
-        })
-        .collect();
-    print_cnot_table("Table IV — additional CNOTs on the 5x5 grid", &rows);
+    run_table_binary(
+        "table4_cnot_grid",
+        "Table IV — additional CNOTs on the 5x5 grid",
+        &CouplingMap::grid(5, 5),
+        TableKind::Cnot,
+    );
 }

@@ -12,12 +12,25 @@
 //! | `fig11_noise_aware` | Figure 11 — noise-aware routing and success rates |
 //!
 //! Binaries run the reduced `quick` suite by default; pass `--full` for the
-//! complete 15-benchmark suite of the paper and `--runs N` to average over
-//! `N` seeds (the paper uses 10).
+//! complete 15-benchmark suite of the paper, `--runs N` to average over `N`
+//! seeds (the paper uses 10), and `--json <path>` to additionally write a
+//! machine-readable [`BenchReport`] (see [`report`]).
+//!
+//! The whole (benchmark × seed × router) grid of each binary runs through
+//! [`nassc::transpile_batch`], fanning jobs across all cores while staying
+//! bit-identical to serial execution; set `NASSC_THREADS=1` to force the
+//! serial baseline.
 
-use nassc::{optimize_without_routing, transpile, TranspileOptions};
+use std::path::PathBuf;
+
+use nassc::{optimize_without_routing, transpile_batch_prepared, BatchJob, TranspileOptions};
 use nassc_benchmarks::Benchmark;
+use nassc_parallel::default_parallelism;
 use nassc_topology::CouplingMap;
+
+pub mod report;
+
+pub use report::{BenchReport, Metrics, ReportError, ReportRow};
 
 /// Averaged metrics for one benchmark under one router.
 #[derive(Debug, Clone, Copy, Default)]
@@ -114,65 +127,156 @@ pub fn geometric_mean_reduction(reductions: &[f64]) -> f64 {
     1.0 - product.powf(1.0 / reductions.len() as f64)
 }
 
+/// The base seed of every seed sweep (run `r` uses seed `BASE_SEED + r`),
+/// matching the serial harness of earlier revisions.
+pub const BASE_SEED: u64 = 1000;
+
+/// Runs SABRE and NASSC over a whole suite, averaging over `runs` seeds per
+/// benchmark.
+///
+/// The full (benchmark × seed × router) grid goes through
+/// [`transpile_batch_prepared`] as one batch, so parallelism spans
+/// benchmarks, seeds and routers at once. The seed-independent work is done
+/// exactly once per benchmark — pre-routing optimization (whose output is
+/// also the unrouted baseline of each row) and the per-device distance
+/// matrix — instead of once per job. CNOT and depth aggregates are
+/// bit-identical to the serial per-benchmark loop this replaces; `time_s`
+/// covers the seed-dependent pipeline tail only (layout, routing,
+/// decomposition, post-optimization), so the shared preparation no longer
+/// dilutes the `t_NASSC / t_SABRE` ratio.
+pub fn compare_suite(
+    suite: &[Benchmark],
+    coupling: &CouplingMap,
+    runs: usize,
+) -> Vec<ComparisonRow> {
+    // Per-benchmark preparation, fanned across cores. The prepared circuit
+    // doubles as the row's unrouted baseline and as the batch input below.
+    let originals = nassc_parallel::parallel_map(suite.iter().collect(), |b: &Benchmark| {
+        optimize_without_routing(&b.circuit).expect("baseline optimization")
+    });
+
+    // One flat job grid: for each benchmark, `runs` seeds × {SABRE, NASSC}.
+    let mut jobs = Vec::with_capacity(suite.len() * runs * 2);
+    for original in &originals {
+        for run in 0..runs {
+            let seed = BASE_SEED + run as u64;
+            jobs.push(BatchJob::new(
+                original,
+                coupling,
+                TranspileOptions::sabre(seed),
+            ));
+            jobs.push(BatchJob::new(
+                original,
+                coupling,
+                TranspileOptions::nassc(seed),
+            ));
+        }
+    }
+    let results = transpile_batch_prepared(&jobs);
+
+    suite
+        .iter()
+        .zip(&originals)
+        .enumerate()
+        .map(|(index, (benchmark, original))| {
+            let mut sabre = RouterMetrics::default();
+            let mut nassc = RouterMetrics::default();
+            let per_benchmark = &results[index * runs * 2..(index + 1) * runs * 2];
+            for pair in per_benchmark.chunks_exact(2) {
+                let s = pair[0].as_ref().expect("sabre transpile");
+                let n = pair[1].as_ref().expect("nassc transpile");
+                sabre.cx_total += s.cx_count() as f64;
+                sabre.depth_total += s.depth() as f64;
+                sabre.time_s += s.elapsed.as_secs_f64();
+                nassc.cx_total += n.cx_count() as f64;
+                nassc.depth_total += n.depth() as f64;
+                nassc.time_s += n.elapsed.as_secs_f64();
+            }
+            let scale = runs.max(1) as f64;
+            for m in [&mut sabre, &mut nassc] {
+                m.cx_total /= scale;
+                m.depth_total /= scale;
+                m.time_s /= scale;
+            }
+            ComparisonRow {
+                name: benchmark.name.to_string(),
+                qubits: benchmark.qubits,
+                original_cx: original.cx_count(),
+                original_depth: original.depth(),
+                sabre,
+                nassc,
+            }
+        })
+        .collect()
+}
+
 /// Runs SABRE and NASSC on one benchmark, averaging over `runs` seeds.
 pub fn compare_benchmark(
     benchmark: &Benchmark,
     coupling: &CouplingMap,
     runs: usize,
 ) -> ComparisonRow {
-    let original = optimize_without_routing(&benchmark.circuit).expect("baseline optimization");
-    let mut sabre = RouterMetrics::default();
-    let mut nassc = RouterMetrics::default();
-    for run in 0..runs {
-        let seed = 1000 + run as u64;
-        let s = transpile(&benchmark.circuit, coupling, &TranspileOptions::sabre(seed))
-            .expect("sabre transpile");
-        let n = transpile(&benchmark.circuit, coupling, &TranspileOptions::nassc(seed))
-            .expect("nassc transpile");
-        sabre.cx_total += s.cx_count() as f64;
-        sabre.depth_total += s.depth() as f64;
-        sabre.time_s += s.elapsed.as_secs_f64();
-        nassc.cx_total += n.cx_count() as f64;
-        nassc.depth_total += n.depth() as f64;
-        nassc.time_s += n.elapsed.as_secs_f64();
-    }
-    let scale = runs.max(1) as f64;
-    for m in [&mut sabre, &mut nassc] {
-        m.cx_total /= scale;
-        m.depth_total /= scale;
-        m.time_s /= scale;
-    }
-    ComparisonRow {
-        name: benchmark.name.to_string(),
-        qubits: benchmark.qubits,
-        original_cx: original.cx_count(),
-        original_depth: original.depth(),
-        sabre,
-        nassc,
+    compare_suite(std::slice::from_ref(benchmark), coupling, runs)
+        .pop()
+        .expect("one row per benchmark")
+}
+
+/// Returns the value following `name` in the process arguments
+/// (e.g. `cli_value("--shots")` for `--shots 4096`), or `None` when the flag
+/// is absent.
+///
+/// A flag that is present but missing its operand (nothing follows, or the
+/// next argument is itself a `--flag`) aborts the process: silently eating
+/// the next flag — `--json --full` writing a file named `--full` — would let
+/// CI runs pass while producing no artifact.
+pub fn cli_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let index = args.iter().position(|a| a == name)?;
+    match args.get(index + 1) {
+        Some(value) if !value.starts_with("--") => Some(value.clone()),
+        _ => {
+            eprintln!("error: {name} requires a value");
+            std::process::exit(1);
+        }
     }
 }
 
-/// Command-line options shared by the table binaries.
-#[derive(Debug, Clone, Copy)]
+/// [`cli_value`] parsed as an integer; an unparsable value aborts instead of
+/// silently falling back to a default.
+pub fn cli_usize(name: &str) -> Option<usize> {
+    cli_value(name).map(|value| {
+        value.parse().unwrap_or_else(|_| {
+            eprintln!("error: {name} expects a non-negative integer, got {value:?}");
+            std::process::exit(1);
+        })
+    })
+}
+
+/// Command-line options shared by the table/figure binaries.
+#[derive(Debug, Clone)]
 pub struct HarnessArgs {
     /// Run the complete 15-benchmark suite instead of the quick subset.
     pub full: bool,
     /// Number of seeds to average over.
     pub runs: usize,
+    /// When set, also write the run's [`BenchReport`] to this path.
+    pub json: Option<PathBuf>,
 }
 
 impl HarnessArgs {
-    /// Parses `--full` and `--runs N` from the process arguments.
+    /// Parses `--full`, `--runs N` and `--json <path>` from the process
+    /// arguments.
     pub fn from_env() -> Self {
-        let args: Vec<String> = std::env::args().collect();
-        let full = args.iter().any(|a| a == "--full");
-        let runs = args
-            .iter()
-            .position(|a| a == "--runs")
-            .and_then(|i| args.get(i + 1))
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(2);
-        Self { full, runs }
+        let full = std::env::args().any(|a| a == "--full");
+        let runs = cli_usize("--runs").unwrap_or(2);
+        if runs == 0 {
+            // NaN tables and all-null reports that still exit 0 would defeat
+            // the CI gate; reject up front like every other bad flag value.
+            eprintln!("error: --runs must be at least 1");
+            std::process::exit(1);
+        }
+        let json = cli_value("--json").map(PathBuf::from);
+        Self { full, runs, json }
     }
 
     /// The benchmark suite selected by the arguments.
@@ -182,6 +286,28 @@ impl HarnessArgs {
         } else {
             nassc_benchmarks::quick_benchmarks()
         }
+    }
+
+    /// The suite name recorded in reports.
+    pub fn suite_label(&self) -> &'static str {
+        if self.full {
+            "full"
+        } else {
+            "quick"
+        }
+    }
+
+    /// Writes `report` to the `--json` path, if one was given.
+    ///
+    /// Exits the process with an error message when the file cannot be
+    /// written — a silently missing artifact must fail the CI job.
+    pub fn emit_report(&self, report: &BenchReport) {
+        let Some(path) = &self.json else { return };
+        if let Err(e) = report.write_to_file(path) {
+            eprintln!("error: writing {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("wrote {}", path.display());
     }
 }
 
@@ -269,6 +395,124 @@ pub fn print_depth_table(title: &str, rows: &[ComparisonRow]) {
     );
 }
 
+/// Which metric family a table binary reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableKind {
+    /// CNOT counts (Tables I / III / IV).
+    Cnot,
+    /// Circuit depth (Table II).
+    Depth,
+}
+
+/// Builds the [`BenchReport`] for a CNOT table run.
+pub fn cnot_report(
+    artefact: &str,
+    title: &str,
+    suite: &str,
+    runs: usize,
+    rows: &[ComparisonRow],
+) -> BenchReport {
+    let mut report = BenchReport::new(artefact, title, suite, runs);
+    for row in rows {
+        let (sabre_add, nassc_add) = row.additional_cx();
+        report.rows.push(ReportRow {
+            name: row.name.clone(),
+            qubits: row.qubits,
+            metrics: vec![
+                ("original_cx".to_string(), row.original_cx as f64),
+                ("sabre_cx_total".to_string(), row.sabre.cx_total),
+                ("sabre_cx_add".to_string(), sabre_add),
+                ("sabre_time_s".to_string(), row.sabre.time_s),
+                ("nassc_cx_total".to_string(), row.nassc.cx_total),
+                ("nassc_cx_add".to_string(), nassc_add),
+                ("nassc_time_s".to_string(), row.nassc.time_s),
+                ("delta_cx_total".to_string(), row.delta_cx_total()),
+                ("delta_cx_add".to_string(), row.delta_cx_add()),
+                ("time_ratio".to_string(), row.time_ratio()),
+            ],
+        });
+    }
+    let d_tot: Vec<f64> = rows.iter().map(|r| r.delta_cx_total()).collect();
+    let d_add: Vec<f64> = rows.iter().map(|r| r.delta_cx_add()).collect();
+    report.summary = vec![
+        (
+            "geomean_delta_cx_total".to_string(),
+            geometric_mean_reduction(&d_tot),
+        ),
+        (
+            "geomean_delta_cx_add".to_string(),
+            geometric_mean_reduction(&d_add),
+        ),
+    ];
+    report
+}
+
+/// Builds the [`BenchReport`] for a depth table run.
+pub fn depth_report(
+    artefact: &str,
+    title: &str,
+    suite: &str,
+    runs: usize,
+    rows: &[ComparisonRow],
+) -> BenchReport {
+    let mut report = BenchReport::new(artefact, title, suite, runs);
+    for row in rows {
+        let (sabre_add, nassc_add) = row.additional_depth();
+        report.rows.push(ReportRow {
+            name: row.name.clone(),
+            qubits: row.qubits,
+            metrics: vec![
+                ("original_depth".to_string(), row.original_depth as f64),
+                ("sabre_depth_total".to_string(), row.sabre.depth_total),
+                ("sabre_depth_add".to_string(), sabre_add),
+                ("nassc_depth_total".to_string(), row.nassc.depth_total),
+                ("nassc_depth_add".to_string(), nassc_add),
+                ("delta_depth_total".to_string(), row.delta_depth_total()),
+                ("delta_depth_add".to_string(), row.delta_depth_add()),
+            ],
+        });
+    }
+    let d_tot: Vec<f64> = rows.iter().map(|r| r.delta_depth_total()).collect();
+    let d_add: Vec<f64> = rows.iter().map(|r| r.delta_depth_add()).collect();
+    report.summary = vec![
+        (
+            "geomean_delta_depth_total".to_string(),
+            geometric_mean_reduction(&d_tot),
+        ),
+        (
+            "geomean_delta_depth_add".to_string(),
+            geometric_mean_reduction(&d_add),
+        ),
+    ];
+    report
+}
+
+/// The whole body of a table binary: parse args, run the grid through the
+/// batch engine, print the table, emit the optional JSON report.
+pub fn run_table_binary(artefact: &str, title: &str, device: &CouplingMap, kind: TableKind) {
+    let args = HarnessArgs::from_env();
+    let suite = args.suite();
+    eprintln!(
+        "transpiling {} benchmarks × {} seeds × 2 routers = {} jobs on {} threads...",
+        suite.len(),
+        args.runs,
+        suite.len() * args.runs * 2,
+        default_parallelism()
+    );
+    let rows = compare_suite(&suite, device, args.runs);
+    let report = match kind {
+        TableKind::Cnot => {
+            print_cnot_table(title, &rows);
+            cnot_report(artefact, title, args.suite_label(), args.runs, &rows)
+        }
+        TableKind::Depth => {
+            print_depth_table(title, &rows);
+            depth_report(artefact, title, args.suite_label(), args.runs, &rows)
+        }
+    };
+    args.emit_report(&report);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,5 +538,54 @@ mod tests {
         let row = compare_benchmark(bench, &device, 1);
         assert!(row.original_cx > 0);
         assert!(row.sabre.cx_total >= row.original_cx as f64);
+    }
+
+    #[test]
+    fn compare_suite_matches_the_serial_transpile_loop() {
+        use nassc::transpile;
+        let device = CouplingMap::linear(25);
+        let suite = &quick_benchmarks()[..2];
+        let runs = 2;
+        let rows = compare_suite(suite, &device, runs);
+        assert_eq!(rows.len(), suite.len());
+        for (bench, row) in suite.iter().zip(&rows) {
+            let mut sabre_cx = 0.0;
+            let mut nassc_cx = 0.0;
+            for run in 0..runs {
+                let seed = BASE_SEED + run as u64;
+                sabre_cx += transpile(&bench.circuit, &device, &TranspileOptions::sabre(seed))
+                    .unwrap()
+                    .cx_count() as f64;
+                nassc_cx += transpile(&bench.circuit, &device, &TranspileOptions::nassc(seed))
+                    .unwrap()
+                    .cx_count() as f64;
+            }
+            assert_eq!(row.sabre.cx_total, sabre_cx / runs as f64, "{}", bench.name);
+            assert_eq!(row.nassc.cx_total, nassc_cx / runs as f64, "{}", bench.name);
+        }
+    }
+
+    #[test]
+    fn report_builders_record_rows_and_geomeans() {
+        let device = CouplingMap::linear(25);
+        let rows = compare_suite(&quick_benchmarks()[..1], &device, 1);
+        let cnot = cnot_report("table1_cnot_montreal", "Table I", "quick", 1, &rows);
+        assert_eq!(cnot.rows.len(), 1);
+        assert_eq!(
+            cnot.rows[0].metric("original_cx"),
+            Some(rows[0].original_cx as f64)
+        );
+        assert_eq!(
+            cnot.summary_value("geomean_delta_cx_add"),
+            Some(geometric_mean_reduction(&[rows[0].delta_cx_add()]))
+        );
+        let depth = depth_report("table2_depth_montreal", "Table II", "quick", 1, &rows);
+        assert_eq!(
+            depth.rows[0].metric("sabre_depth_total"),
+            Some(rows[0].sabre.depth_total)
+        );
+        assert!(depth.summary_value("geomean_delta_depth_total").is_some());
+        // Reports must survive the JSON round trip.
+        assert_eq!(BenchReport::from_json(&cnot.to_json()).unwrap(), cnot);
     }
 }

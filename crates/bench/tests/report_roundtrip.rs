@@ -1,0 +1,75 @@
+//! Property tests: `BenchReport` survives the hand-rolled JSON writer/parser
+//! round trip for arbitrary field contents — including names exercising every
+//! escape path and extreme-but-finite metric values.
+
+use proptest::prelude::*;
+
+use nassc_bench::{BenchReport, ReportRow};
+
+/// Builds a gnarly string from sampled bytes: ASCII, quotes, backslashes,
+/// control characters and multi-byte code points all show up.
+fn gnarly_name(tag: &str, bytes: &[u8]) -> String {
+    let mut name = format!("{tag}:");
+    for &b in bytes {
+        match b % 7 {
+            0 => name.push('"'),
+            1 => name.push('\\'),
+            2 => name.push((b'a' + b % 26) as char),
+            3 => name.push('\n'),
+            4 => name.push(char::from_u32(0x0001 + u32::from(b) % 0x1f).unwrap()),
+            5 => name.push(char::from_u32(0x0394 + u32::from(b)).unwrap()), // Greek and friends
+            _ => name.push('😀'),
+        }
+    }
+    name
+}
+
+/// Widens a uniform sample into a large dynamic range (still finite).
+fn stretch(v: f64, exponent: u8) -> f64 {
+    v * 10f64.powi(i32::from(exponent % 40) - 20)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bench_report_roundtrips_through_json(
+        runs in 0usize..100,
+        header in proptest::collection::vec(any::<u8>(), 0..12),
+        rows in proptest::collection::vec(
+            (
+                proptest::collection::vec(any::<u8>(), 0..10),  // row name bytes
+                0usize..50,                                     // qubits
+                proptest::collection::vec((any::<u8>(), -1.0f64..1.0, any::<u8>()), 0..6),
+            ),
+            0..6,
+        ),
+        summary in proptest::collection::vec((any::<u8>(), -1.0f64..1.0, any::<u8>()), 0..5),
+    ) {
+        let mut report = BenchReport::new(
+            gnarly_name("artefact", &header),
+            gnarly_name("title", &header),
+            if runs % 2 == 0 { "quick" } else { "full" },
+            runs,
+        );
+        for (name_bytes, qubits, metrics) in &rows {
+            report.rows.push(ReportRow {
+                name: gnarly_name("row", name_bytes),
+                qubits: *qubits,
+                metrics: metrics
+                    .iter()
+                    .map(|(tag, v, exp)| (gnarly_name("metric", &[*tag]), stretch(*v, *exp)))
+                    .collect(),
+            });
+        }
+        report.summary = summary
+            .iter()
+            .map(|(tag, v, exp)| (gnarly_name("sum", &[*tag]), stretch(*v, *exp)))
+            .collect();
+
+        let json = report.to_json();
+        let parsed = BenchReport::from_json(&json);
+        prop_assert!(parsed.is_ok(), "parse failed: {:?}\n{json}", parsed.err());
+        prop_assert_eq!(parsed.unwrap(), report);
+    }
+}

@@ -1,0 +1,290 @@
+//! Batch transpilation: fan a grid of jobs across cores, deterministically.
+//!
+//! The paper's evaluation is a (benchmark × seed × router) grid — an
+//! embarrassingly parallel workload, since every [`transpile`] call is a pure
+//! function of its inputs (each call seeds its own RNG from
+//! `options.config.seed`). [`transpile_batch`] exploits that: it hoists the
+//! two seed-independent stages out of the per-job hot path — one
+//! [`DistanceMatrix`] per distinct `(CouplingMap, Calibration)` via a
+//! [`DistanceCache`], and one pre-routing optimization per distinct circuit
+//! — then maps the seed-dependent tails ([`transpile_prepared`]) over an
+//! order-preserving scoped thread pool.
+//!
+//! Determinism contract: for equal inputs, `transpile_batch(jobs)[i]` equals
+//! `transpile(jobs[i].circuit, jobs[i].coupling, &jobs[i].options)`
+//! gate-for-gate and layout-for-layout, whatever the worker count (only the
+//! per-job `elapsed` wall-clock differs). `NASSC_THREADS=1` forces serial
+//! execution for A/B timing.
+//!
+//! [`transpile`]: crate::pipeline::transpile
+
+use std::sync::Arc;
+
+use nassc_circuit::QuantumCircuit;
+use nassc_parallel::ThreadPool;
+use nassc_passes::PassError;
+use nassc_topology::{Calibration, CouplingMap, DistanceMatrix};
+
+use crate::pipeline::{
+    distances_for, optimize_without_routing, transpile_prepared, TranspileOptions, TranspileResult,
+};
+
+/// One unit of work for [`transpile_batch`]: a circuit, a device and the
+/// options to transpile it under.
+///
+/// Jobs borrow their circuit and coupling map so a seed sweep over one
+/// benchmark does not clone the circuit per seed.
+#[derive(Debug, Clone)]
+pub struct BatchJob<'a> {
+    /// The logical circuit to transpile.
+    pub circuit: &'a QuantumCircuit,
+    /// The target device.
+    pub coupling: &'a CouplingMap,
+    /// Router, seed, flags and optional calibration for this job.
+    pub options: TranspileOptions,
+}
+
+impl<'a> BatchJob<'a> {
+    /// Creates a job transpiling `circuit` onto `coupling` under `options`.
+    pub fn new(
+        circuit: &'a QuantumCircuit,
+        coupling: &'a CouplingMap,
+        options: TranspileOptions,
+    ) -> Self {
+        Self {
+            circuit,
+            coupling,
+            options,
+        }
+    }
+}
+
+/// Memoizes distance matrices per `(CouplingMap, Calibration)` pair.
+///
+/// Building the all-pairs matrix is `O(V·E)` BFS (or the full Eq. 3
+/// recomputation for noise-aware runs) — cheap once, wasteful when repeated
+/// for every seed of a 10-seed sweep. The cache is a linear scan over
+/// structural equality, which is exact and plenty fast for the handful of
+/// devices a batch ever touches.
+#[derive(Debug, Default)]
+pub struct DistanceCache {
+    entries: Vec<(CouplingMap, Option<Calibration>, Arc<DistanceMatrix>)>,
+}
+
+impl DistanceCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The number of distinct `(coupling, calibration)` pairs cached so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns the distance matrix for `(coupling, calibration)`, computing
+    /// and caching it on first use.
+    pub fn get_or_compute(
+        &mut self,
+        coupling: &CouplingMap,
+        calibration: Option<&Calibration>,
+    ) -> Arc<DistanceMatrix> {
+        if let Some((_, _, cached)) = self
+            .entries
+            .iter()
+            .find(|(map, cal, _)| map == coupling && cal.as_ref() == calibration)
+        {
+            return Arc::clone(cached);
+        }
+        let computed = Arc::new(distances_for(coupling, calibration));
+        self.entries.push((
+            coupling.clone(),
+            calibration.cloned(),
+            Arc::clone(&computed),
+        ));
+        computed
+    }
+}
+
+/// Transpiles every job, fanning the batch across the default thread pool.
+///
+/// See the module docs for the determinism contract. Results come back in
+/// job order; a failed job yields its [`PassError`] in place without
+/// aborting the rest of the batch.
+pub fn transpile_batch(jobs: &[BatchJob<'_>]) -> Vec<Result<TranspileResult, PassError>> {
+    transpile_batch_on(&ThreadPool::with_default_parallelism(), jobs)
+}
+
+/// [`transpile_batch`] on an explicitly sized pool.
+pub fn transpile_batch_on(
+    pool: &ThreadPool,
+    jobs: &[BatchJob<'_>],
+) -> Vec<Result<TranspileResult, PassError>> {
+    // Pre-routing optimization is deterministic and seed-independent, so a
+    // seed sweep needs it once per distinct circuit, not once per job.
+    // Circuits are keyed by address: sweep jobs borrow the same circuit, and
+    // a missed alias only costs a redundant (correct) preparation.
+    let mut unique_circuits: Vec<&QuantumCircuit> = Vec::new();
+    let job_circuit: Vec<usize> = jobs
+        .iter()
+        .map(|job| {
+            unique_circuits
+                .iter()
+                .position(|&known| std::ptr::eq(known, job.circuit))
+                .unwrap_or_else(|| {
+                    unique_circuits.push(job.circuit);
+                    unique_circuits.len() - 1
+                })
+        })
+        .collect();
+    let prepared: Vec<Result<QuantumCircuit, PassError>> =
+        pool.map(unique_circuits, optimize_without_routing);
+
+    run_prepared(pool, jobs, |index| {
+        prepared[job_circuit[index]].as_ref().map_err(Clone::clone)
+    })
+}
+
+/// [`transpile_batch`] over circuits that are **already prepared** (outputs
+/// of [`optimize_without_routing`]), skipping the engine's internal
+/// preparation pass.
+///
+/// Drivers that need the prepared circuits anyway — the bench harness
+/// computes baseline CNOT/depth from them — use this to prepare exactly once.
+/// Equivalent to [`transpile_batch`] over the corresponding raw circuits,
+/// because [`crate::pipeline::transpile`] is exactly preparation followed by
+/// [`transpile_prepared`].
+pub fn transpile_batch_prepared(jobs: &[BatchJob<'_>]) -> Vec<Result<TranspileResult, PassError>> {
+    transpile_batch_prepared_on(&ThreadPool::with_default_parallelism(), jobs)
+}
+
+/// [`transpile_batch_prepared`] on an explicitly sized pool.
+pub fn transpile_batch_prepared_on(
+    pool: &ThreadPool,
+    jobs: &[BatchJob<'_>],
+) -> Vec<Result<TranspileResult, PassError>> {
+    run_prepared(pool, jobs, |index| Ok(jobs[index].circuit))
+}
+
+/// Shared tail of both batch entry points: resolve distances once per
+/// device, then fan the seed-dependent pipeline tails across the pool.
+fn run_prepared<'p, P>(
+    pool: &ThreadPool,
+    jobs: &[BatchJob<'_>],
+    prepared_for: P,
+) -> Vec<Result<TranspileResult, PassError>>
+where
+    P: Fn(usize) -> Result<&'p QuantumCircuit, PassError> + Sync,
+{
+    // Resolve distances serially up front: the cache needs `&mut self`, and
+    // precomputing here is exactly the point — workers share, never rebuild.
+    let mut cache = DistanceCache::new();
+    let work: Vec<(usize, &BatchJob<'_>, Arc<DistanceMatrix>)> = jobs
+        .iter()
+        .enumerate()
+        .map(|(index, job)| {
+            let distances = cache.get_or_compute(job.coupling, job.options.calibration.as_ref());
+            (index, job, distances)
+        })
+        .collect();
+
+    pool.map(work, |(index, job, distances)| {
+        transpile_prepared(prepared_for(index)?, job.coupling, &distances, &job.options)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::transpile;
+
+    fn sample_circuit() -> QuantumCircuit {
+        let mut qc = QuantumCircuit::new(5);
+        qc.h(0);
+        for i in 0..4 {
+            qc.cx(i, i + 1);
+        }
+        qc.cx(0, 4).cx(1, 3).cx(0, 2);
+        qc
+    }
+
+    #[test]
+    fn batch_matches_serial_for_a_seed_sweep() {
+        let device = CouplingMap::linear(5);
+        let circuit = sample_circuit();
+        let jobs: Vec<BatchJob> = (0..6)
+            .flat_map(|seed| {
+                [
+                    BatchJob::new(&circuit, &device, TranspileOptions::sabre(seed)),
+                    BatchJob::new(&circuit, &device, TranspileOptions::nassc(seed)),
+                ]
+            })
+            .collect();
+        let batched = transpile_batch_on(&ThreadPool::new(4), &jobs);
+        for (job, batched) in jobs.iter().zip(&batched) {
+            let serial = transpile(job.circuit, job.coupling, &job.options).unwrap();
+            let batched = batched.as_ref().unwrap();
+            assert_eq!(serial.circuit, batched.circuit);
+            assert_eq!(serial.initial_layout, batched.initial_layout);
+            assert_eq!(serial.final_layout, batched.final_layout);
+            assert_eq!(serial.swap_count, batched.swap_count);
+        }
+    }
+
+    #[test]
+    fn distance_cache_deduplicates_devices_and_calibrations() {
+        let line = CouplingMap::linear(5);
+        let grid = CouplingMap::grid(2, 3);
+        let cal = Calibration::synthetic(&line, 1);
+        let mut cache = DistanceCache::new();
+        assert!(cache.is_empty());
+
+        let a = cache.get_or_compute(&line, None);
+        let b = cache.get_or_compute(&line, None);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+
+        cache.get_or_compute(&grid, None);
+        cache.get_or_compute(&line, Some(&cal));
+        assert_eq!(cache.len(), 3);
+
+        // Cached entries are the same values the pipeline would compute.
+        assert_eq!(*a, distances_for(&line, None));
+        assert_eq!(
+            *cache.get_or_compute(&line, Some(&cal)),
+            distances_for(&line, Some(&cal))
+        );
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn prepared_batch_matches_raw_batch() {
+        let device = CouplingMap::linear(5);
+        let circuit = sample_circuit();
+        let prepared = optimize_without_routing(&circuit).unwrap();
+        let raw_jobs: Vec<BatchJob> = (0..4)
+            .map(|seed| BatchJob::new(&circuit, &device, TranspileOptions::nassc(seed)))
+            .collect();
+        let prepared_jobs: Vec<BatchJob> = (0..4)
+            .map(|seed| BatchJob::new(&prepared, &device, TranspileOptions::nassc(seed)))
+            .collect();
+        let raw = transpile_batch(&raw_jobs);
+        let pre = transpile_batch_prepared(&prepared_jobs);
+        for (raw, pre) in raw.iter().zip(&pre) {
+            let raw = raw.as_ref().unwrap();
+            let pre = pre.as_ref().unwrap();
+            assert_eq!(raw.circuit, pre.circuit);
+            assert_eq!(raw.swap_count, pre.swap_count);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        assert!(transpile_batch(&[]).is_empty());
+    }
+}

@@ -15,7 +15,11 @@
 //!   single-qubit movement through SWAPs (§IV-E),
 //! * [`transpile`] / [`TranspileOptions`] — the full `Qiskit+SABRE` and
 //!   `Qiskit+NASSC` pipelines evaluated in the paper, including the
-//!   noise-aware `+HA` variants (Eq. 3).
+//!   noise-aware `+HA` variants (Eq. 3),
+//! * [`transpile_batch`] / [`BatchJob`] — the batch engine fanning
+//!   (benchmark × seed × router) grids across cores with shared
+//!   per-device distance matrices ([`DistanceCache`]) and results
+//!   bit-identical to serial execution.
 //!
 //! # Example
 //!
@@ -34,13 +38,18 @@
 //! assert!(nassc.cx_count() <= sabre.cx_count());
 //! ```
 
+pub mod batch;
 pub mod cost;
 pub mod pipeline;
 pub mod policy;
 
+pub use batch::{
+    transpile_batch, transpile_batch_on, transpile_batch_prepared, transpile_batch_prepared_on,
+    BatchJob, DistanceCache,
+};
 pub use cost::{evaluate_swap_reduction, OptimizationFlags, SwapReduction};
 pub use pipeline::{
-    decompose_swaps_fixed, embed, optimize_without_routing, transpile, RouterKind,
-    TranspileOptions, TranspileResult,
+    decompose_swaps_fixed, distances_for, embed, optimize_without_routing, transpile,
+    transpile_prepared, transpile_with_distances, RouterKind, TranspileOptions, TranspileResult,
 };
 pub use policy::NasscPolicy;

@@ -12,7 +12,9 @@ use nassc_passes::{
 };
 use nassc_sabre::{route_with_policy, sabre_layout, SabreConfig, SabrePolicy};
 use nassc_synthesis::{swap_decomposition, SwapOrientation};
-use nassc_topology::{noise_aware_distance, Calibration, CouplingMap, Layout, NoiseAwareAlphas};
+use nassc_topology::{
+    noise_aware_distance, Calibration, CouplingMap, DistanceMatrix, Layout, NoiseAwareAlphas,
+};
 
 use crate::cost::OptimizationFlags;
 use crate::policy::NasscPolicy;
@@ -115,6 +117,19 @@ pub fn optimize_without_routing(circuit: &QuantumCircuit) -> Result<QuantumCircu
     standard_optimization_pipeline().run(&unrolled)
 }
 
+/// Builds the distance matrix a transpilation over `coupling` uses: plain
+/// hop counts, or the noise-aware Eq. 3 variant when a calibration is given.
+///
+/// The result depends only on `(coupling, calibration)`, never on the circuit
+/// or seed — batch drivers compute it once per device and share it across
+/// every job via [`transpile_with_distances`] (see `crate::batch`).
+pub fn distances_for(coupling: &CouplingMap, calibration: Option<&Calibration>) -> DistanceMatrix {
+    match calibration {
+        Some(cal) => noise_aware_distance(coupling, cal, NoiseAwareAlphas::default()),
+        None => coupling.distance_matrix(),
+    }
+}
+
 /// Runs the full pipeline: pre-routing optimization, SABRE layout, routing
 /// (SABRE or NASSC), SWAP decomposition and post-routing optimization.
 ///
@@ -127,73 +142,105 @@ pub fn transpile(
     options: &TranspileOptions,
 ) -> Result<TranspileResult, PassError> {
     let start = Instant::now();
+    let distances = distances_for(coupling, options.calibration.as_ref());
+    let mut result = transpile_with_distances(circuit, coupling, &distances, options)?;
+    // Keep the historical meaning of `elapsed` for this entry point: the
+    // whole pipeline, distance-matrix construction included.
+    result.elapsed = start.elapsed();
+    Ok(result)
+}
 
+/// [`transpile`] with a precomputed distance matrix.
+///
+/// `distances` must be what [`distances_for`] returns for `coupling` and
+/// `options.calibration` — callers that sweep many seeds over one device
+/// (the batch engine, the bench harness) compute it once instead of
+/// rebuilding the all-pairs matrix on every call. Output is identical to
+/// [`transpile`] for matching inputs.
+///
+/// # Errors
+///
+/// Propagates [`PassError`] from any optimization pass.
+pub fn transpile_with_distances(
+    circuit: &QuantumCircuit,
+    coupling: &CouplingMap,
+    distances: &DistanceMatrix,
+    options: &TranspileOptions,
+) -> Result<TranspileResult, PassError> {
+    let start = Instant::now();
     // Pre-routing optimization (moved before routing, as NASSC requires).
     let prepared = optimize_without_routing(circuit)?;
+    let mut result = transpile_prepared(&prepared, coupling, distances, options)?;
+    // Report the whole pipeline's wall-clock, including preparation.
+    result.elapsed = start.elapsed();
+    Ok(result)
+}
 
-    // Distance matrix: plain hops or the noise-aware Eq. 3 variant.
-    let distances = match &options.calibration {
-        Some(cal) => noise_aware_distance(coupling, cal, NoiseAwareAlphas::default()),
-        None => coupling.distance_matrix(),
-    };
+/// The seed-dependent tail of the pipeline: layout, routing, SWAP
+/// decomposition and post-routing optimization of an **already prepared**
+/// circuit (one that [`optimize_without_routing`] has produced).
+///
+/// Preparation is deterministic and seed-independent, so seed sweeps over
+/// one circuit can run it once and share `prepared` across every job — the
+/// batch engine (`crate::batch`) does exactly that. `elapsed` covers only
+/// this call.
+///
+/// # Errors
+///
+/// Propagates [`PassError`] from any optimization pass.
+pub fn transpile_prepared(
+    prepared: &QuantumCircuit,
+    coupling: &CouplingMap,
+    distances: &DistanceMatrix,
+    options: &TranspileOptions,
+) -> Result<TranspileResult, PassError> {
+    let start = Instant::now();
 
     // Layout selection is shared between both routers (§IV-A).
-    let layout = sabre_layout(&prepared, coupling, &distances, &options.config);
+    let layout = sabre_layout(prepared, coupling, distances, &options.config);
     let mut rng = StdRng::seed_from_u64(options.config.seed);
 
-    // Routing.
-    let (routed, decomposed, initial_layout, final_layout, swap_count) = match options.router {
+    // Routing; the two arms differ only in the SWAP policy and in how SWAPs
+    // are decomposed afterwards.
+    let (routed, decomposed) = match options.router {
         RouterKind::Sabre => {
             let mut policy = SabrePolicy;
-            let result = route_with_policy(
-                &prepared,
+            let routed = route_with_policy(
+                prepared,
                 coupling,
-                &distances,
+                distances,
                 &layout,
                 &options.config,
                 &mut policy,
                 &mut rng,
             );
-            let decomposed = decompose_swaps_fixed(&result.circuit);
-            (
-                result.circuit,
-                decomposed,
-                result.initial_layout,
-                result.final_layout,
-                result.swap_count,
-            )
+            let decomposed = decompose_swaps_fixed(&routed.circuit);
+            (routed, decomposed)
         }
         RouterKind::Nassc => {
             let mut policy = NasscPolicy::new(options.flags);
-            let result = route_with_policy(
-                &prepared,
+            let routed = route_with_policy(
+                prepared,
                 coupling,
-                &distances,
+                distances,
                 &layout,
                 &options.config,
                 &mut policy,
                 &mut rng,
             );
-            let decomposed = policy.decompose_swaps(&result.circuit);
-            (
-                result.circuit,
-                decomposed,
-                result.initial_layout,
-                result.final_layout,
-                result.swap_count,
-            )
+            let decomposed = policy.decompose_swaps(&routed.circuit);
+            (routed, decomposed)
         }
     };
-    drop(routed);
 
     // Post-routing optimization shared by both arms.
     let optimized = standard_optimization_pipeline().run(&decomposed)?;
 
     Ok(TranspileResult {
         circuit: optimized,
-        initial_layout,
-        final_layout,
-        swap_count,
+        initial_layout: routed.initial_layout,
+        final_layout: routed.final_layout,
+        swap_count: routed.swap_count,
         elapsed: start.elapsed(),
     })
 }
@@ -303,6 +350,27 @@ mod tests {
         ] {
             let result = transpile(&qc, &device, &options).unwrap();
             assert!(is_mapped(&result.circuit, &device));
+        }
+    }
+
+    #[test]
+    fn precomputed_distances_match_the_inline_path() {
+        let device = CouplingMap::ibmq_montreal();
+        let cal = Calibration::synthetic(&device, 5);
+        let circuit = sample_circuit();
+        for options in [
+            TranspileOptions::sabre(7),
+            TranspileOptions::nassc(7),
+            TranspileOptions::nassc(7).with_calibration(cal),
+        ] {
+            let distances = distances_for(&device, options.calibration.as_ref());
+            let inline = transpile(&circuit, &device, &options).unwrap();
+            let precomputed =
+                transpile_with_distances(&circuit, &device, &distances, &options).unwrap();
+            assert_eq!(inline.circuit, precomputed.circuit);
+            assert_eq!(inline.initial_layout, precomputed.initial_layout);
+            assert_eq!(inline.final_layout, precomputed.final_layout);
+            assert_eq!(inline.swap_count, precomputed.swap_count);
         }
     }
 

@@ -4,10 +4,11 @@
 //!
 //! The heavy lifting lives in the sub-crates (re-exported below under short
 //! module names); this crate re-exports the handful of types that nearly
-//! every consumer needs — the [`transpile`] entry point, its
-//! [`TranspileOptions`]/[`RouterKind`] configuration, the
-//! [`OptimizationFlags`] controlling the Eq. 1–2 cost terms, and the
-//! no-routing baseline [`optimize_without_routing`].
+//! every consumer needs — the [`transpile`] entry point and its batch
+//! counterpart [`transpile_batch`] (seed sweeps fanned across cores,
+//! bit-identical to serial), the [`TranspileOptions`]/[`RouterKind`]
+//! configuration, the [`OptimizationFlags`] controlling the Eq. 1–2 cost
+//! terms, and the no-routing baseline [`optimize_without_routing`].
 //!
 //! # Example
 //!
@@ -25,8 +26,11 @@
 //! ```
 
 pub use nassc_core::{
-    decompose_swaps_fixed, embed, evaluate_swap_reduction, optimize_without_routing, transpile,
-    NasscPolicy, OptimizationFlags, RouterKind, SwapReduction, TranspileOptions, TranspileResult,
+    decompose_swaps_fixed, distances_for, embed, evaluate_swap_reduction, optimize_without_routing,
+    transpile, transpile_batch, transpile_batch_on, transpile_batch_prepared,
+    transpile_batch_prepared_on, transpile_prepared, transpile_with_distances, BatchJob,
+    DistanceCache, NasscPolicy, OptimizationFlags, RouterKind, SwapReduction, TranspileOptions,
+    TranspileResult,
 };
 
 // Sub-crate namespaces, so downstream code can write `nassc::circuit::...`
@@ -35,6 +39,7 @@ pub use nassc_benchmarks as benchmarks;
 pub use nassc_circuit as circuit;
 pub use nassc_core as core;
 pub use nassc_math as math;
+pub use nassc_parallel as parallel;
 pub use nassc_passes as passes;
 pub use nassc_sabre as sabre;
 pub use nassc_sim as sim;

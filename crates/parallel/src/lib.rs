@@ -1,0 +1,244 @@
+//! A dependency-free scoped thread pool for embarrassingly parallel batches.
+//!
+//! The build environment has no access to crates.io (mirroring
+//! `crates/compat/`), so instead of `rayon` this crate provides the small
+//! slice of it the NASSC pipelines need: an order-preserving
+//! [`ThreadPool::map`] built on [`std::thread::scope`]. Workers pull `(index,
+//! item)` jobs from a shared queue and write results back into their original
+//! slot, so the output order — and therefore every downstream aggregate — is
+//! identical to a serial `Vec::into_iter().map(f).collect()`, regardless of
+//! how the OS schedules the workers.
+//!
+//! Worker count resolution (see [`default_parallelism`]): the
+//! `NASSC_THREADS` environment variable when set to a positive integer,
+//! otherwise [`std::thread::available_parallelism`]. `NASSC_THREADS=1` forces
+//! fully serial execution on the caller's thread, which is useful for
+//! benchmarking the parallel speedup and for bisecting scheduling-dependent
+//! bugs (there should be none: outputs never depend on the worker count).
+//!
+//! # Example
+//!
+//! ```
+//! use nassc_parallel::ThreadPool;
+//!
+//! let pool = ThreadPool::new(4);
+//! let squares = pool.map((0u64..8).collect(), |x| x * x);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker count picked by
+/// [`default_parallelism`].
+pub const THREADS_ENV_VAR: &str = "NASSC_THREADS";
+
+/// Parses a `NASSC_THREADS`-style override: `Some(n)` for a positive integer,
+/// `None` for anything else (absent, empty, zero, garbage).
+fn parse_thread_override(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// The worker count used by [`ThreadPool::with_default_parallelism`]:
+/// `NASSC_THREADS` when set to a positive integer, otherwise the number of
+/// hardware threads (at least 1).
+///
+/// A set-but-unusable override (empty, zero, garbage) is ignored **with a
+/// warning on stderr** — a typoed `NASSC_THREADS=1` would otherwise
+/// silently benchmark "serial" timings on every core.
+pub fn default_parallelism() -> usize {
+    let env = std::env::var(THREADS_ENV_VAR).ok();
+    match env.as_deref() {
+        Some(value) => parse_thread_override(Some(value)).unwrap_or_else(|| {
+            eprintln!(
+                "warning: ignoring invalid {THREADS_ENV_VAR}={value:?}; \
+                 using all hardware threads"
+            );
+            hardware_parallelism()
+        }),
+        None => hardware_parallelism(),
+    }
+}
+
+/// [`std::thread::available_parallelism`], defaulting to 1 when unknown.
+fn hardware_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// An order-preserving scoped thread pool.
+///
+/// "Scoped" in the [`std::thread::scope`] sense: worker threads live only for
+/// the duration of one [`map`](Self::map) call, so jobs may freely borrow
+/// from the caller's stack (no `'static` bound). There is no persistent
+/// worker state to manage and nothing to shut down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// A pool running jobs on up to `threads` workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool sized by [`default_parallelism`].
+    pub fn with_default_parallelism() -> Self {
+        Self::new(default_parallelism())
+    }
+
+    /// The maximum number of workers this pool will spawn.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item, returning results in input order.
+    ///
+    /// Equivalent to `items.into_iter().map(f).collect()` — including when a
+    /// job panics: the caller panics once all workers have stopped (with the
+    /// scope's "a scoped thread panicked" payload; the original message goes
+    /// to stderr). With one worker (or ≤ 1 item) no thread is spawned and
+    /// `f` runs on the caller's thread.
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = items.len();
+        if self.threads == 1 || n <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+
+        let queue: Mutex<VecDeque<(usize, T)>> =
+            Mutex::new(items.into_iter().enumerate().collect());
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let workers = self.threads.min(n);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    // Pop under the lock, compute outside it.
+                    let job = queue.lock().expect("job queue poisoned").pop_front();
+                    let Some((index, item)) = job else { break };
+                    let result = f(item);
+                    *slots[index].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every queued job stores a result before the scope ends")
+            })
+            .collect()
+    }
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        Self::with_default_parallelism()
+    }
+}
+
+/// One-shot convenience: [`ThreadPool::with_default_parallelism`]`.map(items, f)`.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    ThreadPool::with_default_parallelism().map(items, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_matches_serial_and_preserves_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = ThreadPool::new(threads).map(items.clone(), |x| x * 3 + 1);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn order_is_preserved_under_skewed_job_costs() {
+        // Early items are the slowest, so a naive push-in-completion-order
+        // pool would return them last.
+        let items: Vec<usize> = (0..32).collect();
+        let got = ThreadPool::new(4).map(items.clone(), |i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            i
+        });
+        assert_eq!(got, items);
+    }
+
+    #[test]
+    fn every_item_is_processed_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let results = ThreadPool::new(7).map((0..100).collect::<Vec<usize>>(), |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(results.len(), 100);
+    }
+
+    #[test]
+    fn jobs_may_borrow_from_the_caller_stack() {
+        let base = [10usize, 20, 30];
+        let got = ThreadPool::new(2).map(vec![0usize, 1, 2], |i| base[i] + i);
+        assert_eq!(got, vec![10, 21, 32]);
+    }
+
+    #[test]
+    fn empty_and_single_item_batches_work() {
+        let pool = ThreadPool::new(8);
+        assert_eq!(pool.map(Vec::<u32>::new(), |x| x), Vec::<u32>::new());
+        assert_eq!(pool.map(vec![42u32], |x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn thread_count_is_clamped_to_at_least_one() {
+        assert_eq!(ThreadPool::new(0).threads(), 1);
+        assert!(default_parallelism() >= 1);
+        assert!(ThreadPool::default().threads() >= 1);
+    }
+
+    #[test]
+    fn thread_override_parsing() {
+        assert_eq!(parse_thread_override(None), None);
+        assert_eq!(parse_thread_override(Some("")), None);
+        assert_eq!(parse_thread_override(Some("0")), None);
+        assert_eq!(parse_thread_override(Some("garbage")), None);
+        assert_eq!(parse_thread_override(Some("4")), Some(4));
+        assert_eq!(parse_thread_override(Some(" 12 ")), Some(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "a scoped thread panicked")]
+    fn job_panics_propagate_to_the_caller() {
+        ThreadPool::new(4).map((0..8).collect::<Vec<usize>>(), |i| {
+            if i == 5 {
+                panic!("deliberate job panic");
+            }
+            i
+        });
+    }
+}

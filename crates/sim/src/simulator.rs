@@ -11,7 +11,7 @@ use nassc_math::C64;
 use crate::noise::NoiseModel;
 
 /// Maximum number of *active* qubits the dense simulator accepts.
-const MAX_ACTIVE_QUBITS: usize = 22;
+pub const MAX_ACTIVE_QUBITS: usize = 22;
 
 /// A circuit restricted to the qubits it actually touches, so wide device
 /// circuits (e.g. routed onto 27 physical qubits) stay simulable.

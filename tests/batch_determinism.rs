@@ -1,0 +1,96 @@
+//! The batch engine's determinism contract: `transpile_batch` must equal the
+//! corresponding serial `transpile` calls gate-for-gate, layout-for-layout,
+//! at every worker count.
+
+use nassc::parallel::ThreadPool;
+use nassc::{
+    transpile, transpile_batch, transpile_batch_on, BatchJob, TranspileOptions, TranspileResult,
+};
+use nassc_benchmarks::quick_benchmarks;
+use nassc_topology::{Calibration, CouplingMap};
+
+/// Asserts everything but the wall-clock matches between two results.
+fn assert_identical(serial: &TranspileResult, batched: &TranspileResult, context: &str) {
+    assert_eq!(
+        serial.swap_count, batched.swap_count,
+        "{context}: swap count"
+    );
+    assert_eq!(
+        serial.initial_layout, batched.initial_layout,
+        "{context}: initial layout"
+    );
+    assert_eq!(
+        serial.final_layout, batched.final_layout,
+        "{context}: final layout"
+    );
+    // Gate-for-gate: same instruction sequence, not just equal counts.
+    assert_eq!(
+        serial.circuit.iter().count(),
+        batched.circuit.iter().count(),
+        "{context}: gate count"
+    );
+    for (i, (s, b)) in serial
+        .circuit
+        .iter()
+        .zip(batched.circuit.iter())
+        .enumerate()
+    {
+        assert_eq!(s, b, "{context}: instruction {i}");
+    }
+    assert_eq!(serial.circuit, batched.circuit, "{context}: circuit");
+}
+
+#[test]
+fn batch_over_eight_seeds_matches_serial_transpile_gate_for_gate() {
+    let device = CouplingMap::ibmq_montreal();
+    let bench = &quick_benchmarks()[0]; // Grover_4-qubits
+    let jobs: Vec<BatchJob> = (0..8)
+        .map(|seed| {
+            let options = if seed % 2 == 0 {
+                TranspileOptions::nassc(seed)
+            } else {
+                TranspileOptions::sabre(seed)
+            };
+            BatchJob::new(&bench.circuit, &device, options)
+        })
+        .collect();
+
+    let batched = transpile_batch(&jobs);
+    assert_eq!(batched.len(), 8);
+    for (seed, (job, batched)) in jobs.iter().zip(&batched).enumerate() {
+        let serial = transpile(job.circuit, job.coupling, &job.options).expect("serial transpile");
+        let batched = batched.as_ref().expect("batched transpile");
+        assert_identical(&serial, batched, &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn worker_count_never_changes_results() {
+    let device = CouplingMap::linear(25);
+    let cal = Calibration::synthetic(&device, 3);
+    let bench = &quick_benchmarks()[0];
+    let jobs: Vec<BatchJob> = (0..4)
+        .flat_map(|seed| {
+            [
+                BatchJob::new(&bench.circuit, &device, TranspileOptions::nassc(seed)),
+                BatchJob::new(
+                    &bench.circuit,
+                    &device,
+                    TranspileOptions::sabre(seed).with_calibration(cal.clone()),
+                ),
+            ]
+        })
+        .collect();
+
+    let single = transpile_batch_on(&ThreadPool::new(1), &jobs);
+    for workers in [2, 3, 8] {
+        let multi = transpile_batch_on(&ThreadPool::new(workers), &jobs);
+        for (index, (s, m)) in single.iter().zip(&multi).enumerate() {
+            assert_identical(
+                s.as_ref().expect("serial"),
+                m.as_ref().expect("parallel"),
+                &format!("{workers} workers, job {index}"),
+            );
+        }
+    }
+}
