@@ -115,11 +115,12 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "bench_gate: {} ({}, suite {}, {} runs, {} rows)",
+        "bench_gate: {} ({}, suite {}, {} runs, {} layout trials, {} rows)",
         args.report.display(),
         report.artefact,
         report.suite,
         report.runs,
+        report.layout_trials,
         report.rows.len()
     );
     for (name, value) in &report.summary {

@@ -29,11 +29,14 @@ fn main() {
     let noise = NoiseModel::from_calibration(&device, calibration.clone());
     let benchmarks = nassc_benchmarks::noise_benchmarks();
 
-    let variant_option = |variant: usize, run: usize| match variant {
-        0 => TranspileOptions::sabre(seed(run)),
-        1 => TranspileOptions::nassc(seed(run)),
-        2 => TranspileOptions::sabre(seed(run)).with_calibration(calibration.clone()),
-        _ => TranspileOptions::nassc(seed(run)).with_calibration(calibration.clone()),
+    let variant_option = |variant: usize, run: usize| {
+        let base = match variant {
+            0 => TranspileOptions::sabre(seed(run)),
+            1 => TranspileOptions::nassc(seed(run)),
+            2 => TranspileOptions::sabre(seed(run)).with_calibration(calibration.clone()),
+            _ => TranspileOptions::nassc(seed(run)).with_calibration(calibration.clone()),
+        };
+        base.with_layout_trials(args.layout_trials)
     };
 
     // Prepare each benchmark once: the prepared circuit is both the
@@ -77,6 +80,7 @@ fn main() {
         "noise",
         args.runs,
     );
+    report.layout_trials = args.layout_trials;
     println!(
         "== Figure 11 — noise-aware routing on ibmq_montreal (shots = {shots}, runs = {}) ==",
         args.runs

@@ -31,6 +31,7 @@ fn main() {
         args.suite_label(),
         args.runs,
     );
+    report.layout_trials = args.layout_trials;
 
     // Pre-routing optimization is device-independent: prepare the suite once
     // and share the prepared circuits across all three maps' batches.
@@ -48,7 +49,7 @@ fn main() {
                 jobs.push(BatchJob::new(
                     circuit,
                     device,
-                    TranspileOptions::sabre(seed(run)),
+                    TranspileOptions::sabre(seed(run)).with_layout_trials(args.layout_trials),
                 ));
             }
             for &flags in &combinations {
@@ -56,7 +57,8 @@ fn main() {
                     jobs.push(BatchJob::new(
                         circuit,
                         device,
-                        TranspileOptions::nassc_with_flags(seed(run), flags),
+                        TranspileOptions::nassc_with_flags(seed(run), flags)
+                            .with_layout_trials(args.layout_trials),
                     ));
                 }
             }

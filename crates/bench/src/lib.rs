@@ -13,8 +13,10 @@
 //!
 //! Binaries run the reduced `quick` suite by default; pass `--full` for the
 //! complete 15-benchmark suite of the paper, `--runs N` to average over `N`
-//! seeds (the paper uses 10), and `--json <path>` to additionally write a
-//! machine-readable [`BenchReport`] (see [`report`]).
+//! seeds (the paper uses 10), `--layout-trials N` to run `N` independent
+//! layout trials per transpile (keeping the cheapest-to-route layout, as the
+//! Qiskit+SABRE baseline stack does), and `--json <path>` to additionally
+//! write a machine-readable [`BenchReport`] (see [`report`]).
 //!
 //! The whole (benchmark × seed × router) grid of each binary runs through
 //! [`nassc::transpile_batch`], fanning jobs across all cores while staying
@@ -33,7 +35,7 @@ pub mod report;
 pub use report::{BenchReport, Metrics, ReportError, ReportRow};
 
 /// Averaged metrics for one benchmark under one router.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct RouterMetrics {
     /// Mean CNOT count of the final circuit.
     pub cx_total: f64,
@@ -41,6 +43,55 @@ pub struct RouterMetrics {
     pub depth_total: f64,
     /// Mean transpile wall-clock time in seconds.
     pub time_s: f64,
+    /// Mean index of the winning layout trial (0.0 in single-trial mode).
+    pub chosen_trial: f64,
+    /// Mean scoring cost of each layout trial, in trial order (empty in
+    /// single-trial mode, where no scoring pass runs). Router-specific
+    /// units — SWAPs for SABRE, post-decomposition CNOTs for NASSC — so
+    /// compare within a router's columns, not across routers.
+    pub trial_costs: Vec<f64>,
+}
+
+impl RouterMetrics {
+    /// Accumulates one transpile result (divide by the run count afterwards).
+    fn accumulate(&mut self, result: &nassc::TranspileResult) {
+        self.cx_total += result.cx_count() as f64;
+        self.depth_total += result.depth() as f64;
+        self.time_s += result.elapsed.as_secs_f64();
+        self.chosen_trial += result.chosen_layout_trial as f64;
+        if self.trial_costs.len() < result.layout_trial_costs.len() {
+            self.trial_costs
+                .resize(result.layout_trial_costs.len(), 0.0);
+        }
+        for (slot, cost) in self.trial_costs.iter_mut().zip(&result.layout_trial_costs) {
+            *slot += cost;
+        }
+    }
+
+    /// Divides every accumulated sum by `scale`.
+    fn finish(&mut self, scale: f64) {
+        self.cx_total /= scale;
+        self.depth_total /= scale;
+        self.time_s /= scale;
+        self.chosen_trial /= scale;
+        for cost in &mut self.trial_costs {
+            *cost /= scale;
+        }
+    }
+
+    /// The layout-trial metrics this router contributes to a report row:
+    /// the mean winning-trial index plus one mean cost per trial. Empty in
+    /// single-trial mode.
+    fn trial_metrics(&self, prefix: &str) -> Metrics {
+        if self.trial_costs.is_empty() {
+            return Vec::new();
+        }
+        let mut metrics = vec![(format!("{prefix}_chosen_trial"), self.chosen_trial)];
+        for (trial, cost) in self.trial_costs.iter().enumerate() {
+            metrics.push((format!("{prefix}_layout_cost_t{trial}"), *cost));
+        }
+        metrics
+    }
 }
 
 /// One row of a comparison table.
@@ -149,6 +200,19 @@ pub fn compare_suite(
     coupling: &CouplingMap,
     runs: usize,
 ) -> Vec<ComparisonRow> {
+    compare_suite_with_trials(suite, coupling, runs, 1)
+}
+
+/// [`compare_suite`] with `layout_trials` independent layout trials per
+/// transpile (`1` = the historical single-trial path). The batch engine
+/// splits the worker budget between jobs and trials, so the grid never
+/// oversubscribes the cores.
+pub fn compare_suite_with_trials(
+    suite: &[Benchmark],
+    coupling: &CouplingMap,
+    runs: usize,
+    layout_trials: usize,
+) -> Vec<ComparisonRow> {
     // Per-benchmark preparation, fanned across cores. The prepared circuit
     // doubles as the row's unrouted baseline and as the batch input below.
     let originals = nassc_parallel::parallel_map(suite.iter().collect(), |b: &Benchmark| {
@@ -163,12 +227,12 @@ pub fn compare_suite(
             jobs.push(BatchJob::new(
                 original,
                 coupling,
-                TranspileOptions::sabre(seed),
+                TranspileOptions::sabre(seed).with_layout_trials(layout_trials),
             ));
             jobs.push(BatchJob::new(
                 original,
                 coupling,
-                TranspileOptions::nassc(seed),
+                TranspileOptions::nassc(seed).with_layout_trials(layout_trials),
             ));
         }
     }
@@ -183,20 +247,12 @@ pub fn compare_suite(
             let mut nassc = RouterMetrics::default();
             let per_benchmark = &results[index * runs * 2..(index + 1) * runs * 2];
             for pair in per_benchmark.chunks_exact(2) {
-                let s = pair[0].as_ref().expect("sabre transpile");
-                let n = pair[1].as_ref().expect("nassc transpile");
-                sabre.cx_total += s.cx_count() as f64;
-                sabre.depth_total += s.depth() as f64;
-                sabre.time_s += s.elapsed.as_secs_f64();
-                nassc.cx_total += n.cx_count() as f64;
-                nassc.depth_total += n.depth() as f64;
-                nassc.time_s += n.elapsed.as_secs_f64();
+                sabre.accumulate(pair[0].as_ref().expect("sabre transpile"));
+                nassc.accumulate(pair[1].as_ref().expect("nassc transpile"));
             }
             let scale = runs.max(1) as f64;
             for m in [&mut sabre, &mut nassc] {
-                m.cx_total /= scale;
-                m.depth_total /= scale;
-                m.time_s /= scale;
+                m.finish(scale);
             }
             ComparisonRow {
                 name: benchmark.name.to_string(),
@@ -259,13 +315,15 @@ pub struct HarnessArgs {
     pub full: bool,
     /// Number of seeds to average over.
     pub runs: usize,
+    /// Independent layout trials per transpile (1 = single-trial mode).
+    pub layout_trials: usize,
     /// When set, also write the run's [`BenchReport`] to this path.
     pub json: Option<PathBuf>,
 }
 
 impl HarnessArgs {
-    /// Parses `--full`, `--runs N` and `--json <path>` from the process
-    /// arguments.
+    /// Parses `--full`, `--runs N`, `--layout-trials N` and `--json <path>`
+    /// from the process arguments.
     pub fn from_env() -> Self {
         let full = std::env::args().any(|a| a == "--full");
         let runs = cli_usize("--runs").unwrap_or(2);
@@ -275,8 +333,18 @@ impl HarnessArgs {
             eprintln!("error: --runs must be at least 1");
             std::process::exit(1);
         }
+        let layout_trials = cli_usize("--layout-trials").unwrap_or(1);
+        if layout_trials == 0 {
+            eprintln!("error: --layout-trials must be at least 1");
+            std::process::exit(1);
+        }
         let json = cli_value("--json").map(PathBuf::from);
-        Self { full, runs, json }
+        Self {
+            full,
+            runs,
+            layout_trials,
+            json,
+        }
     }
 
     /// The benchmark suite selected by the arguments.
@@ -415,21 +483,24 @@ pub fn cnot_report(
     let mut report = BenchReport::new(artefact, title, suite, runs);
     for row in rows {
         let (sabre_add, nassc_add) = row.additional_cx();
+        let mut metrics = vec![
+            ("original_cx".to_string(), row.original_cx as f64),
+            ("sabre_cx_total".to_string(), row.sabre.cx_total),
+            ("sabre_cx_add".to_string(), sabre_add),
+            ("sabre_time_s".to_string(), row.sabre.time_s),
+            ("nassc_cx_total".to_string(), row.nassc.cx_total),
+            ("nassc_cx_add".to_string(), nassc_add),
+            ("nassc_time_s".to_string(), row.nassc.time_s),
+            ("delta_cx_total".to_string(), row.delta_cx_total()),
+            ("delta_cx_add".to_string(), row.delta_cx_add()),
+            ("time_ratio".to_string(), row.time_ratio()),
+        ];
+        metrics.extend(row.sabre.trial_metrics("sabre"));
+        metrics.extend(row.nassc.trial_metrics("nassc"));
         report.rows.push(ReportRow {
             name: row.name.clone(),
             qubits: row.qubits,
-            metrics: vec![
-                ("original_cx".to_string(), row.original_cx as f64),
-                ("sabre_cx_total".to_string(), row.sabre.cx_total),
-                ("sabre_cx_add".to_string(), sabre_add),
-                ("sabre_time_s".to_string(), row.sabre.time_s),
-                ("nassc_cx_total".to_string(), row.nassc.cx_total),
-                ("nassc_cx_add".to_string(), nassc_add),
-                ("nassc_time_s".to_string(), row.nassc.time_s),
-                ("delta_cx_total".to_string(), row.delta_cx_total()),
-                ("delta_cx_add".to_string(), row.delta_cx_add()),
-                ("time_ratio".to_string(), row.time_ratio()),
-            ],
+            metrics,
         });
     }
     let d_tot: Vec<f64> = rows.iter().map(|r| r.delta_cx_total()).collect();
@@ -458,18 +529,21 @@ pub fn depth_report(
     let mut report = BenchReport::new(artefact, title, suite, runs);
     for row in rows {
         let (sabre_add, nassc_add) = row.additional_depth();
+        let mut metrics = vec![
+            ("original_depth".to_string(), row.original_depth as f64),
+            ("sabre_depth_total".to_string(), row.sabre.depth_total),
+            ("sabre_depth_add".to_string(), sabre_add),
+            ("nassc_depth_total".to_string(), row.nassc.depth_total),
+            ("nassc_depth_add".to_string(), nassc_add),
+            ("delta_depth_total".to_string(), row.delta_depth_total()),
+            ("delta_depth_add".to_string(), row.delta_depth_add()),
+        ];
+        metrics.extend(row.sabre.trial_metrics("sabre"));
+        metrics.extend(row.nassc.trial_metrics("nassc"));
         report.rows.push(ReportRow {
             name: row.name.clone(),
             qubits: row.qubits,
-            metrics: vec![
-                ("original_depth".to_string(), row.original_depth as f64),
-                ("sabre_depth_total".to_string(), row.sabre.depth_total),
-                ("sabre_depth_add".to_string(), sabre_add),
-                ("nassc_depth_total".to_string(), row.nassc.depth_total),
-                ("nassc_depth_add".to_string(), nassc_add),
-                ("delta_depth_total".to_string(), row.delta_depth_total()),
-                ("delta_depth_add".to_string(), row.delta_depth_add()),
-            ],
+            metrics,
         });
     }
     let d_tot: Vec<f64> = rows.iter().map(|r| r.delta_depth_total()).collect();
@@ -493,14 +567,16 @@ pub fn run_table_binary(artefact: &str, title: &str, device: &CouplingMap, kind:
     let args = HarnessArgs::from_env();
     let suite = args.suite();
     eprintln!(
-        "transpiling {} benchmarks × {} seeds × 2 routers = {} jobs on {} threads...",
+        "transpiling {} benchmarks × {} seeds × 2 routers = {} jobs \
+         ({} layout trials each) on {} threads...",
         suite.len(),
         args.runs,
         suite.len() * args.runs * 2,
+        args.layout_trials,
         default_parallelism()
     );
-    let rows = compare_suite(&suite, device, args.runs);
-    let report = match kind {
+    let rows = compare_suite_with_trials(&suite, device, args.runs, args.layout_trials);
+    let mut report = match kind {
         TableKind::Cnot => {
             print_cnot_table(title, &rows);
             cnot_report(artefact, title, args.suite_label(), args.runs, &rows)
@@ -510,6 +586,7 @@ pub fn run_table_binary(artefact: &str, title: &str, device: &CouplingMap, kind:
             depth_report(artefact, title, args.suite_label(), args.runs, &rows)
         }
     };
+    report.layout_trials = args.layout_trials;
     args.emit_report(&report);
 }
 

@@ -13,6 +13,7 @@
 //!   "title": "Table I — additional CNOTs on ibmq_montreal",
 //!   "suite": "quick",
 //!   "runs": 1,
+//!   "layout_trials": 1,
 //!   "rows": [
 //!     {
 //!       "name": "Grover_4-qubits",
@@ -74,6 +75,10 @@ pub struct BenchReport {
     pub suite: String,
     /// Seeds averaged over per benchmark.
     pub runs: usize,
+    /// Layout trials per transpile (`1` = single-trial compatibility mode).
+    /// Written by every current report; reports predating the field parse
+    /// back as `1`.
+    pub layout_trials: usize,
     /// Per-benchmark rows.
     pub rows: Vec<ReportRow>,
     /// Aggregates over the rows (geomeans etc.) — what CI gates on.
@@ -94,6 +99,7 @@ impl BenchReport {
             title: title.into(),
             suite: suite.into(),
             runs,
+            layout_trials: 1,
             rows: Vec::new(),
             summary: Vec::new(),
         }
@@ -119,6 +125,7 @@ impl BenchReport {
         out.push_str(&format!("  \"title\": {},\n", json_string(&self.title)));
         out.push_str(&format!("  \"suite\": {},\n", json_string(&self.suite)));
         out.push_str(&format!("  \"runs\": {},\n", self.runs));
+        out.push_str(&format!("  \"layout_trials\": {},\n", self.layout_trials));
         out.push_str("  \"rows\": [");
         for (i, row) in self.rows.iter().enumerate() {
             if i > 0 {
@@ -156,6 +163,12 @@ impl BenchReport {
         let title = get(object, "title")?.as_string("title")?;
         let suite = get(object, "suite")?.as_string("suite")?;
         let runs = get(object, "runs")?.as_u64("runs")? as usize;
+        // Optional for backward compatibility: schema-1 reports written
+        // before the field existed are single-trial runs.
+        let layout_trials = match object.iter().find(|(key, _)| key == "layout_trials") {
+            Some((_, value)) => value.as_u64("layout_trials")? as usize,
+            None => 1,
+        };
         let rows = get(object, "rows")?
             .as_array("rows")?
             .iter()
@@ -175,6 +188,7 @@ impl BenchReport {
             title,
             suite,
             runs,
+            layout_trials,
             rows,
             summary,
         })
@@ -567,7 +581,16 @@ mod tests {
             metrics: vec![("tiny".to_string(), 1.25e-17)],
         });
         report.summary = vec![("geomean_delta_cx_add".to_string(), 0.18)];
+        report.layout_trials = 4;
         report
+    }
+
+    #[test]
+    fn reports_without_layout_trials_parse_as_single_trial() {
+        let json = "{\"schema_version\": 1, \"artefact\": \"a\", \"title\": \"t\", \
+                    \"suite\": \"s\", \"runs\": 1, \"rows\": [], \"summary\": {}}";
+        let parsed = BenchReport::from_json(json).unwrap();
+        assert_eq!(parsed.layout_trials, 1);
     }
 
     #[test]

@@ -52,6 +52,7 @@ proptest! {
             if runs % 2 == 0 { "quick" } else { "full" },
             runs,
         );
+        report.layout_trials = runs % 7 + 1;
         for (name_bytes, qubits, metrics) in &rows {
             report.rows.push(ReportRow {
                 name: gnarly_name("row", name_bytes),

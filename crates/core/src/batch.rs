@@ -17,6 +17,7 @@
 //! execution for A/B timing.
 //!
 //! [`transpile`]: crate::pipeline::transpile
+//! [`transpile_prepared`]: crate::pipeline::transpile_prepared
 
 use std::sync::Arc;
 
@@ -26,7 +27,8 @@ use nassc_passes::PassError;
 use nassc_topology::{Calibration, CouplingMap, DistanceMatrix};
 
 use crate::pipeline::{
-    distances_for, optimize_without_routing, transpile_prepared, TranspileOptions, TranspileResult,
+    distances_for, optimize_without_routing, transpile_prepared_on, TranspileOptions,
+    TranspileResult,
 };
 
 /// One unit of work for [`transpile_batch`]: a circuit, a device and the
@@ -158,7 +160,7 @@ pub fn transpile_batch_on(
 /// computes baseline CNOT/depth from them — use this to prepare exactly once.
 /// Equivalent to [`transpile_batch`] over the corresponding raw circuits,
 /// because [`crate::pipeline::transpile`] is exactly preparation followed by
-/// [`transpile_prepared`].
+/// [`crate::pipeline::transpile_prepared`].
 pub fn transpile_batch_prepared(jobs: &[BatchJob<'_>]) -> Vec<Result<TranspileResult, PassError>> {
     transpile_batch_prepared_on(&ThreadPool::with_default_parallelism(), jobs)
 }
@@ -173,6 +175,14 @@ pub fn transpile_batch_prepared_on(
 
 /// Shared tail of both batch entry points: resolve distances once per
 /// device, then fan the seed-dependent pipeline tails across the pool.
+///
+/// The pool's worker budget is split between the two parallelism levels —
+/// jobs across the batch, layout trials within each job — via
+/// [`ThreadPool::split_budget`], so a batch of multi-trial jobs never
+/// oversubscribes the cores the caller granted: a saturated batch runs each
+/// job's trials serially, while a batch narrower than the budget hands the
+/// spare workers to each job's trials. Either way results are bit-identical
+/// to serial execution.
 fn run_prepared<'p, P>(
     pool: &ThreadPool,
     jobs: &[BatchJob<'_>],
@@ -193,8 +203,15 @@ where
         })
         .collect();
 
-    pool.map(work, |(index, job, distances)| {
-        transpile_prepared(prepared_for(index)?, job.coupling, &distances, &job.options)
+    let (job_pool, trial_pool) = pool.split_budget(jobs.len());
+    job_pool.map(work, |(index, job, distances)| {
+        transpile_prepared_on(
+            prepared_for(index)?,
+            job.coupling,
+            &distances,
+            &job.options,
+            &trial_pool,
+        )
     })
 }
 
@@ -280,6 +297,32 @@ mod tests {
             let pre = pre.as_ref().unwrap();
             assert_eq!(raw.circuit, pre.circuit);
             assert_eq!(raw.swap_count, pre.swap_count);
+        }
+    }
+
+    #[test]
+    fn multi_trial_jobs_match_serial_at_every_worker_count() {
+        let device = CouplingMap::linear(5);
+        let circuit = sample_circuit();
+        let jobs: Vec<BatchJob> = (0..3)
+            .map(|seed| {
+                BatchJob::new(
+                    &circuit,
+                    &device,
+                    TranspileOptions::nassc(seed).with_layout_trials(4),
+                )
+            })
+            .collect();
+        let serial = transpile_batch_on(&ThreadPool::new(1), &jobs);
+        for workers in [2, 8] {
+            let parallel = transpile_batch_on(&ThreadPool::new(workers), &jobs);
+            for (s, p) in serial.iter().zip(&parallel) {
+                let s = s.as_ref().unwrap();
+                let p = p.as_ref().unwrap();
+                assert_eq!(s.circuit, p.circuit, "{workers} workers");
+                assert_eq!(s.chosen_layout_trial, p.chosen_layout_trial);
+                assert_eq!(s.layout_trial_costs, p.layout_trial_costs);
+            }
         }
     }
 

@@ -15,7 +15,9 @@
 //!   single-qubit movement through SWAPs (§IV-E),
 //! * [`transpile`] / [`TranspileOptions`] — the full `Qiskit+SABRE` and
 //!   `Qiskit+NASSC` pipelines evaluated in the paper, including the
-//!   noise-aware `+HA` variants (Eq. 3),
+//!   noise-aware `+HA` variants (Eq. 3) and multi-trial layout selection
+//!   (`TranspileOptions::with_layout_trials`, refining each candidate with
+//!   the router's own policy),
 //! * [`transpile_batch`] / [`BatchJob`] — the batch engine fanning
 //!   (benchmark × seed × router) grids across cores with shared
 //!   per-device distance matrices ([`DistanceCache`]) and results
@@ -50,6 +52,7 @@ pub use batch::{
 pub use cost::{evaluate_swap_reduction, OptimizationFlags, SwapReduction};
 pub use pipeline::{
     decompose_swaps_fixed, distances_for, embed, optimize_without_routing, transpile,
-    transpile_prepared, transpile_with_distances, RouterKind, TranspileOptions, TranspileResult,
+    transpile_prepared, transpile_prepared_on, transpile_with_distances, RouterKind,
+    TranspileOptions, TranspileResult,
 };
 pub use policy::NasscPolicy;

@@ -7,10 +7,14 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use nassc_circuit::{Gate, QuantumCircuit};
+use nassc_parallel::ThreadPool;
 use nassc_passes::{
     apply_layout, standard_optimization_pipeline, PassError, PassManager, UnrollToBasis,
 };
-use nassc_sabre::{route_with_policy, sabre_layout, SabreConfig, SabrePolicy};
+use nassc_sabre::{
+    route_with_policy, sabre_layout, LayoutTrials, RoutingResult, SabreConfig, SabrePolicy,
+    SwapPolicy,
+};
 use nassc_synthesis::{swap_decomposition, SwapOrientation};
 use nassc_topology::{
     noise_aware_distance, Calibration, CouplingMap, DistanceMatrix, Layout, NoiseAwareAlphas,
@@ -41,6 +45,16 @@ pub struct TranspileOptions {
     /// When set, routing uses the noise-aware distance matrix of Eq. 3
     /// (the `+HA` variants of Figure 11).
     pub calibration: Option<Calibration>,
+    /// Number of independent layout trials (see
+    /// [`nassc_sabre::LayoutTrials`]). `1` (the default) selects the
+    /// single-trial compatibility path, whose outputs are bit-identical to
+    /// the historical single-`StdRng` [`sabre_layout`]; `N > 1` runs `N`
+    /// independently seeded trials refined through the router's own
+    /// [`nassc_sabre::SwapPolicy`] and keeps the one whose full routing pass
+    /// costs least — fewest SWAPs for SABRE, fewest CNOTs surviving the
+    /// optimization-aware decomposition for NASSC (ties break to the lowest
+    /// trial index).
+    pub layout_trials: usize,
 }
 
 impl TranspileOptions {
@@ -51,6 +65,7 @@ impl TranspileOptions {
             config: SabreConfig::with_seed(seed),
             flags: OptimizationFlags::none(),
             calibration: None,
+            layout_trials: 1,
         }
     }
 
@@ -61,6 +76,7 @@ impl TranspileOptions {
             config: SabreConfig::with_seed(seed),
             flags: OptimizationFlags::all(),
             calibration: None,
+            layout_trials: 1,
         }
     }
 
@@ -78,6 +94,14 @@ impl TranspileOptions {
         self.calibration = Some(calibration);
         self
     }
+
+    /// Runs `trials` independent layout trials (clamped to at least 1) and
+    /// keeps the cheapest-to-route layout. `1` preserves the historical
+    /// single-trial outputs bit-for-bit.
+    pub fn with_layout_trials(mut self, trials: usize) -> Self {
+        self.layout_trials = trials.max(1);
+        self
+    }
 }
 
 /// The outcome of a full transpilation.
@@ -91,6 +115,15 @@ pub struct TranspileResult {
     pub final_layout: Layout,
     /// Number of SWAPs inserted during routing (before optimization).
     pub swap_count: usize,
+    /// Index of the layout trial whose layout was used (always 0 in the
+    /// single-trial compatibility mode).
+    pub chosen_layout_trial: usize,
+    /// Scoring cost of every layout trial, in trial order. The unit is
+    /// router-specific: SWAPs inserted by the trial's full routing pass for
+    /// SABRE, CNOTs surviving the optimization-aware SWAP decomposition for
+    /// NASSC — comparable within a run, not across routers. Empty in
+    /// single-trial mode, where no scoring pass runs.
+    pub layout_trial_costs: Vec<f64>,
     /// Wall-clock time of the whole pipeline.
     pub elapsed: Duration,
 }
@@ -185,6 +218,10 @@ pub fn transpile_with_distances(
 /// batch engine (`crate::batch`) does exactly that. `elapsed` covers only
 /// this call.
 ///
+/// Layout trials (when `options.layout_trials > 1`) fan across the default
+/// thread pool; callers that already own a worker budget — the batch engine
+/// splits one between jobs and trials — use [`transpile_prepared_on`].
+///
 /// # Errors
 ///
 /// Propagates [`PassError`] from any optimization pass.
@@ -194,43 +231,62 @@ pub fn transpile_prepared(
     distances: &DistanceMatrix,
     options: &TranspileOptions,
 ) -> Result<TranspileResult, PassError> {
+    transpile_prepared_on(
+        prepared,
+        coupling,
+        distances,
+        options,
+        &ThreadPool::with_default_parallelism(),
+    )
+}
+
+/// [`transpile_prepared`] with an explicit pool for the layout trials.
+///
+/// The pool size affects wall clock only: every layout trial owns a private
+/// seed stream, so the output is bit-identical at any worker count.
+///
+/// # Errors
+///
+/// Propagates [`PassError`] from any optimization pass.
+pub fn transpile_prepared_on(
+    prepared: &QuantumCircuit,
+    coupling: &CouplingMap,
+    distances: &DistanceMatrix,
+    options: &TranspileOptions,
+    trial_pool: &ThreadPool,
+) -> Result<TranspileResult, PassError> {
     let start = Instant::now();
 
-    // Layout selection is shared between both routers (§IV-A).
-    let layout = sabre_layout(prepared, coupling, distances, &options.config);
-    let mut rng = StdRng::seed_from_u64(options.config.seed);
-
-    // Routing; the two arms differ only in the SWAP policy and in how SWAPs
-    // are decomposed afterwards.
-    let (routed, decomposed) = match options.router {
-        RouterKind::Sabre => {
-            let mut policy = SabrePolicy;
-            let routed = route_with_policy(
-                prepared,
-                coupling,
-                distances,
-                &layout,
-                &options.config,
-                &mut policy,
-                &mut rng,
-            );
-            let decomposed = decompose_swaps_fixed(&routed.circuit);
-            (routed, decomposed)
-        }
-        RouterKind::Nassc => {
-            let mut policy = NasscPolicy::new(options.flags);
-            let routed = route_with_policy(
-                prepared,
-                coupling,
-                distances,
-                &layout,
-                &options.config,
-                &mut policy,
-                &mut rng,
-            );
-            let decomposed = policy.decompose_swaps(&routed.circuit);
-            (routed, decomposed)
-        }
+    // Layout, routing and SWAP decomposition; the two arms differ only in
+    // the SWAP policy, the trial cost and how SWAPs are decomposed. SABRE
+    // prices every SWAP at three CNOTs, so the SWAP count of a trial's
+    // scoring pass is (up to a constant factor) the CNOT overhead that
+    // layout costs — the same trial score Qiskit's SabreLayout uses.
+    // NASSC's whole point is that not all SWAPs have the same cost: its
+    // decomposition cancels CNOTs against neighbouring gates, so trials are
+    // scored by the CNOTs that actually survive the policy's
+    // optimization-aware decomposition.
+    let (routed, decomposed, chosen_layout_trial, layout_trial_costs) = match options.router {
+        RouterKind::Sabre => layout_route_decompose(
+            prepared,
+            coupling,
+            distances,
+            options,
+            trial_pool,
+            || SabrePolicy,
+            |routed, _| routed.swap_count as f64,
+            |routed, _| decompose_swaps_fixed(&routed.circuit),
+        ),
+        RouterKind::Nassc => layout_route_decompose(
+            prepared,
+            coupling,
+            distances,
+            options,
+            trial_pool,
+            || NasscPolicy::new(options.flags),
+            |routed, policy| policy.decompose_swaps(&routed.circuit).cx_count() as f64,
+            |routed, policy| policy.decompose_swaps(&routed.circuit),
+        ),
     };
 
     // Post-routing optimization shared by both arms.
@@ -241,8 +297,101 @@ pub fn transpile_prepared(
         initial_layout: routed.initial_layout,
         final_layout: routed.final_layout,
         swap_count: routed.swap_count,
+        chosen_layout_trial,
+        layout_trial_costs,
         elapsed: start.elapsed(),
     })
+}
+
+/// The router-generic layout + routing + decomposition core of
+/// [`transpile_prepared_on`]: returns the routing result, the decomposed
+/// circuit and the layout-trial diagnostics.
+///
+/// `options.layout_trials <= 1` takes the compatibility path — the
+/// single-trial [`sabre_layout`] refinement followed by one routing pass on
+/// the production RNG, bit-identical to the historical pipeline. Multiple
+/// trials run the policy-aware [`LayoutTrials`] engine; since each trial's
+/// scoring pass already routes on the production RNG, the winner's scoring
+/// route *is* the production route and is reused directly instead of paying
+/// a duplicate routing pass.
+#[allow(clippy::too_many_arguments)]
+fn layout_route_decompose<P, F, S, D>(
+    prepared: &QuantumCircuit,
+    coupling: &CouplingMap,
+    distances: &DistanceMatrix,
+    options: &TranspileOptions,
+    trial_pool: &ThreadPool,
+    make_policy: F,
+    score: S,
+    decompose: D,
+) -> (RoutingResult, QuantumCircuit, usize, Vec<f64>)
+where
+    P: SwapPolicy + Send,
+    F: Fn() -> P + Sync,
+    S: Fn(&RoutingResult, &P) -> f64 + Sync,
+    D: Fn(&RoutingResult, &P) -> QuantumCircuit,
+{
+    if options.layout_trials <= 1 {
+        let layout = sabre_layout(prepared, coupling, distances, &options.config);
+        let (routed, policy) = route_from(
+            prepared,
+            coupling,
+            distances,
+            &layout,
+            options,
+            &make_policy,
+        );
+        let decomposed = decompose(&routed, &policy);
+        return (routed, decomposed, 0, Vec::new());
+    }
+
+    let engine = LayoutTrials::new(prepared, coupling, distances, &options.config)
+        .trials(options.layout_trials)
+        .pool(*trial_pool);
+    let (selection, winner) = engine.run_routed(&make_policy, score);
+    let costs = selection.trial_costs();
+    let (routed, policy) = match winner {
+        Some(winner) => winner,
+        // Degenerate no-two-qubit-gate circuit: no trial ever routed, so
+        // route once from the engine's identity layout.
+        None => route_from(
+            prepared,
+            coupling,
+            distances,
+            &selection.layout,
+            options,
+            &make_policy,
+        ),
+    };
+    let decomposed = decompose(&routed, &policy);
+    (routed, decomposed, selection.chosen_trial, costs)
+}
+
+/// One production routing pass: fresh policy, RNG seeded from
+/// `options.config.seed`.
+fn route_from<P, F>(
+    prepared: &QuantumCircuit,
+    coupling: &CouplingMap,
+    distances: &DistanceMatrix,
+    layout: &Layout,
+    options: &TranspileOptions,
+    make_policy: &F,
+) -> (RoutingResult, P)
+where
+    P: SwapPolicy,
+    F: Fn() -> P,
+{
+    let mut policy = make_policy();
+    let routed = route_with_policy(
+        prepared,
+        coupling,
+        distances,
+        layout,
+        &options.config,
+        &mut policy,
+        &mut StdRng::seed_from_u64(options.config.seed),
+    );
+    (routed, policy)
 }
 
 /// Embeds a logical circuit on the device with a layout but no routing —
@@ -372,6 +521,44 @@ mod tests {
             assert_eq!(inline.final_layout, precomputed.final_layout);
             assert_eq!(inline.swap_count, precomputed.swap_count);
         }
+    }
+
+    #[test]
+    fn single_trial_mode_records_no_trial_diagnostics() {
+        let device = CouplingMap::linear(5);
+        let result = transpile(&sample_circuit(), &device, &TranspileOptions::nassc(3)).unwrap();
+        assert_eq!(result.chosen_layout_trial, 0);
+        assert!(result.layout_trial_costs.is_empty());
+    }
+
+    #[test]
+    fn multi_trial_pipeline_is_mapped_and_records_diagnostics() {
+        let device = CouplingMap::ibmq_montreal();
+        let circuit = sample_circuit();
+        for options in [
+            TranspileOptions::sabre(3).with_layout_trials(4),
+            TranspileOptions::nassc(3).with_layout_trials(4),
+        ] {
+            let result = transpile(&circuit, &device, &options).unwrap();
+            assert!(is_mapped(&result.circuit, &device));
+            assert_eq!(result.layout_trial_costs.len(), 4);
+            assert!(result.chosen_layout_trial < 4);
+            let best = result.layout_trial_costs[result.chosen_layout_trial];
+            assert!(result.layout_trial_costs.iter().all(|&c| c >= best));
+        }
+    }
+
+    #[test]
+    fn multi_trial_results_are_reproducible() {
+        let device = CouplingMap::ibmq_montreal();
+        let circuit = sample_circuit();
+        let options = TranspileOptions::nassc(5).with_layout_trials(3);
+        let a = transpile(&circuit, &device, &options).unwrap();
+        let b = transpile(&circuit, &device, &options).unwrap();
+        assert_eq!(a.circuit, b.circuit);
+        assert_eq!(a.initial_layout, b.initial_layout);
+        assert_eq!(a.chosen_layout_trial, b.chosen_layout_trial);
+        assert_eq!(a.layout_trial_costs, b.layout_trial_costs);
     }
 
     #[test]

@@ -98,6 +98,24 @@ impl ThreadPool {
         self.threads
     }
 
+    /// Splits this pool's worker budget between an outer batch of `jobs`
+    /// and the parallelism nested inside each job, so the two levels never
+    /// oversubscribe the budget: `outer.threads() * inner.threads() <=
+    /// self.threads()` (both at least 1).
+    ///
+    /// The outer pool gets `min(threads, jobs)` workers — no point spawning
+    /// more workers than jobs — and the inner pool divides what is left:
+    /// `threads / outer`. A saturated outer level (at least as many jobs as
+    /// workers) therefore yields a serial inner pool, while a single job
+    /// hands the entire budget to its nested work. Because [`map`](Self::map)
+    /// is order-preserving at every worker count, the split affects wall
+    /// clock only, never results.
+    pub fn split_budget(&self, jobs: usize) -> (ThreadPool, ThreadPool) {
+        let outer = self.threads.min(jobs.max(1));
+        let inner = (self.threads / outer).max(1);
+        (Self::new(outer), Self::new(inner))
+    }
+
     /// Applies `f` to every item, returning results in input order.
     ///
     /// Equivalent to `items.into_iter().map(f).collect()` — including when a
@@ -219,6 +237,37 @@ mod tests {
         assert_eq!(ThreadPool::new(0).threads(), 1);
         assert!(default_parallelism() >= 1);
         assert!(ThreadPool::default().threads() >= 1);
+    }
+
+    #[test]
+    fn split_budget_never_oversubscribes() {
+        for threads in [1, 2, 3, 8, 17] {
+            let pool = ThreadPool::new(threads);
+            for jobs in [0, 1, 2, 5, 8, 100] {
+                let (outer, inner) = pool.split_budget(jobs);
+                assert!(outer.threads() >= 1 && inner.threads() >= 1);
+                assert!(
+                    outer.threads() * inner.threads() <= threads,
+                    "threads {threads}, jobs {jobs}: {} x {}",
+                    outer.threads(),
+                    inner.threads()
+                );
+                assert!(outer.threads() <= jobs.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn split_budget_extremes() {
+        // A single job hands the whole budget to the nested level.
+        let (outer, inner) = ThreadPool::new(8).split_budget(1);
+        assert_eq!((outer.threads(), inner.threads()), (1, 8));
+        // A saturated outer level leaves the nested level serial.
+        let (outer, inner) = ThreadPool::new(8).split_budget(64);
+        assert_eq!((outer.threads(), inner.threads()), (8, 1));
+        // Leftover workers go to the nested level.
+        let (outer, inner) = ThreadPool::new(8).split_budget(3);
+        assert_eq!((outer.threads(), inner.threads()), (3, 2));
     }
 
     #[test]

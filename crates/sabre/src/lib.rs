@@ -5,7 +5,12 @@
 //! lookahead distance heuristic over the front and extended layers. This
 //! crate provides:
 //!
-//! * [`sabre_layout`] — random initial layout refined by reverse traversal,
+//! * [`sabre_layout`] — random initial layout refined by reverse traversal
+//!   (the single-trial compatibility path),
+//! * [`LayoutTrials`] — the multi-trial layout engine: N independently
+//!   seeded trials refined through any [`SwapPolicy`], scored by a full
+//!   routing pass, argmin kept with deterministic lowest-index tie-breaking,
+//!   optionally fanned across a thread pool without affecting results,
 //! * [`sabre_route`] — SWAP insertion with the plain SABRE heuristic,
 //! * [`route_with_policy`] / [`SwapPolicy`] — the same traversal engine with
 //!   a pluggable cost function, which is how the NASSC router reuses the
@@ -31,10 +36,13 @@
 //! ```
 
 pub mod config;
+pub mod layout;
 pub mod router;
 
 pub use config::SabreConfig;
+pub use layout::{
+    sabre_layout, select_best_trial, split_seed, LayoutSelection, LayoutTrials, TrialOutcome,
+};
 pub use router::{
-    route_with_policy, sabre_layout, sabre_route, RoutingContext, RoutingResult, SabrePolicy,
-    SwapPolicy,
+    route_with_policy, sabre_route, RoutingContext, RoutingResult, SabrePolicy, SwapPolicy,
 };

@@ -8,7 +8,7 @@
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 use nassc_circuit::{DagCircuit, Gate, QuantumCircuit};
 use nassc_topology::{CouplingMap, DistanceMatrix, Layout};
@@ -323,44 +323,6 @@ pub fn sabre_route(
     )
 }
 
-/// Chooses an initial layout with SABRE's random-start + reverse-traversal
-/// refinement.
-pub fn sabre_layout(
-    circuit: &QuantumCircuit,
-    coupling: &CouplingMap,
-    distances: &DistanceMatrix,
-    config: &SabreConfig,
-) -> Layout {
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut layout = Layout::random(coupling.num_qubits(), &mut rng);
-    if circuit.two_qubit_gate_count() == 0 {
-        return layout;
-    }
-    let reversed = circuit.reversed();
-    for _ in 0..config.layout_iterations {
-        let forward = route_with_policy(
-            circuit,
-            coupling,
-            distances,
-            &layout,
-            config,
-            &mut SabrePolicy,
-            &mut rng,
-        );
-        let backward = route_with_policy(
-            &reversed,
-            coupling,
-            distances,
-            &forward.final_layout,
-            config,
-            &mut SabrePolicy,
-            &mut rng,
-        );
-        layout = backward.final_layout;
-    }
-    layout
-}
-
 /// Collects up to `limit` not-yet-executed two-qubit gates reachable from the
 /// front layer — the lookahead (extended) layer.
 fn collect_extended_set(
@@ -402,6 +364,7 @@ mod tests {
     use super::*;
     use nassc_circuit::circuits_equivalent_up_to_permutation;
     use nassc_passes::is_mapped;
+    use rand::SeedableRng;
 
     fn route(circuit: &QuantumCircuit, coupling: &CouplingMap, seed: u64) -> RoutingResult {
         let config = SabreConfig::with_seed(seed);
@@ -483,47 +446,6 @@ mod tests {
             );
             assert_routing_preserves_semantics(&qc, &result);
         }
-    }
-
-    #[test]
-    fn sabre_layout_produces_valid_layout() {
-        let montreal = CouplingMap::ibmq_montreal();
-        let distances = montreal.distance_matrix();
-        let mut qc = QuantumCircuit::new(5);
-        qc.cx(0, 1).cx(1, 2).cx(2, 3).cx(3, 4).cx(0, 4);
-        let layout = sabre_layout(&qc, &montreal, &distances, &SabreConfig::with_seed(9));
-        assert_eq!(layout.len(), 27);
-        // It is a permutation.
-        let mut seen = vec![false; 27];
-        for q in 0..27 {
-            seen[layout.physical_of(q)] = true;
-        }
-        assert!(seen.into_iter().all(|s| s));
-    }
-
-    #[test]
-    fn layout_refinement_reduces_swaps_compared_to_worst_case() {
-        // A ring-structured circuit on the montreal map: a refined layout
-        // should route with a reasonable number of SWAPs.
-        let montreal = CouplingMap::ibmq_montreal();
-        let distances = montreal.distance_matrix();
-        let mut qc = QuantumCircuit::new(6);
-        for _ in 0..3 {
-            for i in 0..6 {
-                qc.cx(i, (i + 1) % 6);
-            }
-        }
-        let config = SabreConfig::with_seed(2);
-        let layout = sabre_layout(&qc, &montreal, &distances, &config);
-        let mut rng = StdRng::seed_from_u64(2);
-        let routed = sabre_route(&qc, &montreal, &distances, &layout, &config, &mut rng);
-        assert!(is_mapped(&routed.circuit, &montreal));
-        // 18 CNOTs on a sensible layout should need well under 2 SWAPs per CNOT.
-        assert!(
-            routed.swap_count <= 27,
-            "needed {} swaps",
-            routed.swap_count
-        );
     }
 
     #[test]
