@@ -63,6 +63,10 @@ fn main() {
         shots
     );
     let routed = transpile_batch_prepared(&jobs);
+    let total_transpile_s: f64 = routed
+        .iter()
+        .map(|r| r.as_ref().expect("transpile").elapsed.as_secs_f64())
+        .sum();
     // The noisy shot simulations dominate wall-clock; fan them out too
     // (the per-call seed is fixed, so rates match the serial harness).
     let rates = parallel_map(routed.iter().collect(), |result| {
@@ -128,7 +132,17 @@ fn main() {
             bench_rates[2],
             bench_rates[3]
         );
-        let mut metrics = vec![("baseline_cx".to_string(), baseline as f64)];
+        let row_jobs = &routed[index * per_bench..(index + 1) * per_bench];
+        let mean_ms = row_jobs
+            .iter()
+            .map(|r| r.as_ref().expect("transpile").elapsed.as_secs_f64())
+            .sum::<f64>()
+            * 1000.0
+            / row_jobs.len() as f64;
+        let mut metrics = vec![
+            ("baseline_cx".to_string(), baseline as f64),
+            ("mean_transpile_ms".to_string(), mean_ms),
+        ];
         for (v, name) in VARIANT_NAMES.iter().enumerate() {
             metrics.push((format!("added_cx_{name}"), added[v]));
             metrics.push((format!("rate_{name}"), bench_rates[v]));
@@ -147,5 +161,9 @@ fn main() {
         ));
     }
     report.summary.push(("shots".to_string(), shots as f64));
+    report
+        .summary
+        .push(("total_transpile_seconds".to_string(), total_transpile_s));
+    println!("total transpile time: {total_transpile_s:.3}s (simulation excluded)");
     args.emit_report(&report);
 }

@@ -32,6 +32,7 @@ fn main() {
         args.runs,
     );
     report.layout_trials = args.layout_trials;
+    let mut total_transpile_s = 0.0f64;
 
     // Pre-routing optimization is device-independent: prepare the suite once
     // and share the prepared circuits across all three maps' batches.
@@ -65,6 +66,10 @@ fn main() {
         }
         eprintln!("[{map_name}] transpiling {} jobs...", jobs.len());
         let results = transpile_batch_prepared(&jobs);
+        total_transpile_s += results
+            .iter()
+            .map(|r| r.as_ref().expect("transpile").elapsed.as_secs_f64())
+            .sum::<f64>();
         let mean_cx = |slice: &[Result<nassc::TranspileResult, _>]| -> f64 {
             slice
                 .iter()
@@ -82,8 +87,17 @@ fn main() {
         let mut all_enabled_deltas = Vec::new();
         for (index, bench) in suite.iter().enumerate() {
             let per_bench = &results[index * variants_per_bench..(index + 1) * variants_per_bench];
+            let mean_ms = per_bench
+                .iter()
+                .map(|r| r.as_ref().expect("transpile").elapsed.as_secs_f64())
+                .sum::<f64>()
+                * 1000.0
+                / per_bench.len() as f64;
             let sabre_cx = mean_cx(&per_bench[..args.runs]);
-            let mut metrics = vec![("sabre_cx".to_string(), sabre_cx)];
+            let mut metrics = vec![
+                ("sabre_cx".to_string(), sabre_cx),
+                ("mean_transpile_ms".to_string(), mean_ms),
+            ];
             let mut best = (f64::MAX, String::new());
             let mut all_enabled = 0.0;
             for (c, &flags) in combinations.iter().enumerate() {
@@ -126,5 +140,9 @@ fn main() {
         ));
     }
 
+    report
+        .summary
+        .push(("total_transpile_seconds".to_string(), total_transpile_s));
+    println!("total transpile time: {total_transpile_s:.3}s");
     args.emit_report(&report);
 }

@@ -160,6 +160,17 @@ impl ComparisonRow {
     }
 }
 
+/// Total wall-clock seconds spent in transpiles across a table run: the
+/// per-row mean times scaled back up by the seed count. This is the
+/// `total_transpile_seconds` summary metric every report carries, so
+/// `BENCH_*.json` tracks the speed trajectory alongside quality (and
+/// `bench_gate --max total_transpile_seconds <bound>` can sanity-gate it).
+pub fn total_transpile_seconds(rows: &[ComparisonRow], runs: usize) -> f64 {
+    rows.iter()
+        .map(|row| (row.sabre.time_s + row.nassc.time_s) * runs as f64)
+        .sum()
+}
+
 /// `1 - new/old`, guarded against division by zero.
 pub fn relative_reduction(new: f64, old: f64) -> f64 {
     if old <= 0.0 {
@@ -494,6 +505,8 @@ pub fn cnot_report(
             ("delta_cx_total".to_string(), row.delta_cx_total()),
             ("delta_cx_add".to_string(), row.delta_cx_add()),
             ("time_ratio".to_string(), row.time_ratio()),
+            ("sabre_transpile_ms".to_string(), 1000.0 * row.sabre.time_s),
+            ("nassc_transpile_ms".to_string(), 1000.0 * row.nassc.time_s),
         ];
         metrics.extend(row.sabre.trial_metrics("sabre"));
         metrics.extend(row.nassc.trial_metrics("nassc"));
@@ -513,6 +526,10 @@ pub fn cnot_report(
         (
             "geomean_delta_cx_add".to_string(),
             geometric_mean_reduction(&d_add),
+        ),
+        (
+            "total_transpile_seconds".to_string(),
+            total_transpile_seconds(rows, runs),
         ),
     ];
     report
@@ -537,6 +554,8 @@ pub fn depth_report(
             ("nassc_depth_add".to_string(), nassc_add),
             ("delta_depth_total".to_string(), row.delta_depth_total()),
             ("delta_depth_add".to_string(), row.delta_depth_add()),
+            ("sabre_transpile_ms".to_string(), 1000.0 * row.sabre.time_s),
+            ("nassc_transpile_ms".to_string(), 1000.0 * row.nassc.time_s),
         ];
         metrics.extend(row.sabre.trial_metrics("sabre"));
         metrics.extend(row.nassc.trial_metrics("nassc"));
@@ -556,6 +575,10 @@ pub fn depth_report(
         (
             "geomean_delta_depth_add".to_string(),
             geometric_mean_reduction(&d_add),
+        ),
+        (
+            "total_transpile_seconds".to_string(),
+            total_transpile_seconds(rows, runs),
         ),
     ];
     report
@@ -587,6 +610,11 @@ pub fn run_table_binary(artefact: &str, title: &str, device: &CouplingMap, kind:
         }
     };
     report.layout_trials = args.layout_trials;
+    println!(
+        "total transpile time: {:.3}s across {} transpiles",
+        total_transpile_seconds(&rows, args.runs),
+        suite.len() * args.runs * 2
+    );
     args.emit_report(&report);
 }
 

@@ -85,6 +85,20 @@ impl QuantumCircuit {
         self.push(Instruction::new(gate, qubits))
     }
 
+    /// Removes and returns the last instruction, if any.
+    ///
+    /// Routing policies use this to detach trailing gates they are about to
+    /// commute through a SWAP, instead of rebuilding the instruction vector.
+    pub fn pop(&mut self) -> Option<Instruction> {
+        self.instructions.pop()
+    }
+
+    /// Shortens the circuit to at most `len` instructions (no-op when it is
+    /// already that short).
+    pub fn truncate(&mut self, len: usize) {
+        self.instructions.truncate(len);
+    }
+
     /// Appends every instruction of `other` (qubit indices taken verbatim).
     ///
     /// # Panics
@@ -357,6 +371,24 @@ mod tests {
         assert_eq!(qc.swap_count(), 1);
         assert_eq!(qc.two_qubit_gate_count(), 3);
         assert_eq!(qc.count_ops()["cx"], 2);
+    }
+
+    #[test]
+    fn pop_and_truncate_shorten_from_the_tail() {
+        let mut qc = QuantumCircuit::new(3);
+        qc.h(0).cx(0, 1).cx(1, 2);
+        let last = qc.pop().unwrap();
+        assert_eq!(last.gate, Gate::Cx);
+        assert_eq!(last.qubits, vec![1, 2]);
+        assert_eq!(qc.num_gates(), 2);
+        qc.truncate(1);
+        assert_eq!(qc.num_gates(), 1);
+        assert_eq!(qc.instructions()[0].gate, Gate::H);
+        qc.truncate(5); // longer than the circuit: no-op
+        assert_eq!(qc.num_gates(), 1);
+        qc.truncate(0);
+        assert!(qc.is_empty());
+        assert_eq!(qc.pop(), None);
     }
 
     #[test]

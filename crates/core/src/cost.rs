@@ -1,10 +1,22 @@
 //! The optimization-aware pieces of NASSC's cost function (Eq. 1–2):
 //! the `C_2q`, `C_commute1` and `C_commute2` reduction terms and the
 //! SWAP-orientation decisions they imply.
+//!
+//! Two evaluation paths compute the same reductions:
+//!
+//! * [`evaluate_swap_reduction`] — the reference implementation, scanning the
+//!   whole output circuit backwards. O(output) per call; kept as the
+//!   executable specification the property tests compare against.
+//! * [`evaluate_swap_reduction_windowed`] — the hot path, reading the last
+//!   [`SEARCH_WINDOW`] touching instructions from a
+//!   [`RoutingState`]'s per-qubit index in
+//!   O(window), with all buffers on the stack. Exactly equal to the
+//!   reference on every input (same instructions, same order, same floats).
 
 use nassc_circuit::{Gate, Instruction, QuantumCircuit};
 use nassc_math::{Matrix2, Matrix4};
 use nassc_passes::instructions_commute;
+use nassc_sabre::RoutingState;
 use nassc_synthesis::{two_qubit_cnot_cost, SwapOrientation};
 
 /// Which of the three optimizations NASSC anticipates during routing
@@ -260,6 +272,176 @@ fn commute2_reduction(
     None
 }
 
+/// [`evaluate_swap_reduction`] against a [`RoutingState`]'s windowed index:
+/// O([`SEARCH_WINDOW`]) instead of O(output), zero heap allocation, and
+/// exactly equal to the reference implementation on every input.
+///
+/// Why a window of [`SEARCH_WINDOW`] touching instructions is *exact*, not
+/// an approximation: every backwards search the reference performs either
+/// stops at a touching instruction it disqualifies, caps itself at
+/// [`SEARCH_WINDOW`] gates, or exhausts the circuit — so no search ever
+/// examines more than the last [`SEARCH_WINDOW`] instructions touching
+/// `p1`/`p2`, which is precisely what
+/// [`RoutingState::rev_touching_window`] yields.
+pub fn evaluate_swap_reduction_windowed(
+    state: &RoutingState,
+    p1: usize,
+    p2: usize,
+    flags: &OptimizationFlags,
+) -> SwapReduction {
+    let mut buf = [0u32; SEARCH_WINDOW];
+    let len = state.rev_touching_window(p1, p2, &mut buf);
+    let window = &buf[..len];
+    let mut reduction = SwapReduction::zero();
+    if flags.block_resynthesis {
+        reduction.c_2q = block_resynthesis_windowed(state, window, p1, p2);
+    }
+    if flags.commute_cancellation {
+        if let Some((gain, orientation)) = commute1_windowed(state, window, p1, p2) {
+            reduction.c_commute1 = gain;
+            reduction.orientation = Some(orientation);
+        }
+    }
+    if flags.swap_sandwich_cancellation {
+        if let Some((gain, orientation, partner)) = commute2_windowed(state, window, p1, p2) {
+            reduction.c_commute2 = gain;
+            if reduction.orientation.is_none() {
+                reduction.orientation = Some(orientation);
+            }
+            reduction.partner_swap_index = Some(partner);
+        }
+    }
+    reduction
+}
+
+/// `C_2q` over the windowed index: gathers the trailing `{p1, p2}`-confined
+/// run from the most-recent-first window, then multiplies it oldest-first —
+/// the same instructions in the same order as [`block_resynthesis_reduction`].
+fn block_resynthesis_windowed(state: &RoutingState, window: &[u32], p1: usize, p2: usize) -> f64 {
+    let mut block = [0u32; SEARCH_WINDOW];
+    let mut len = 0usize;
+    let mut has_two_qubit = false;
+    for &idx in window {
+        let inst = state.instruction(idx as usize);
+        let confined = inst.gate.is_unitary() && inst.qubits.iter().all(|&q| q == p1 || q == p2);
+        if !confined {
+            break;
+        }
+        block[len] = idx;
+        len += 1;
+        has_two_qubit |= inst.is_two_qubit();
+        if len >= SEARCH_WINDOW {
+            break;
+        }
+    }
+    if len == 0 || !has_two_qubit {
+        return 0.0;
+    }
+    let low = p1.min(p2);
+    let mut block_unitary = Matrix4::identity();
+    for &idx in block[..len].iter().rev() {
+        let m = instruction_matrix(state.instruction(idx as usize), low);
+        block_unitary = m.mul(&block_unitary);
+    }
+    let with_swap = Matrix4::swap().mul(&block_unitary);
+    let (Ok(old_cost), Ok(new_cost)) = (
+        two_qubit_cnot_cost(&block_unitary),
+        two_qubit_cnot_cost(&with_swap),
+    ) else {
+        return 0.0;
+    };
+    let extra = new_cost.saturating_sub(old_cost) as f64;
+    (3.0 - extra).clamp(0.0, 3.0)
+}
+
+/// `C_commute1` over the windowed index (see [`commute1_reduction`]).
+fn commute1_windowed(
+    state: &RoutingState,
+    window: &[u32],
+    p1: usize,
+    p2: usize,
+) -> Option<(f64, SwapOrientation)> {
+    let mut between = [0u32; SEARCH_WINDOW];
+    let mut between_len = 0usize;
+    for &idx in window {
+        let inst = state.instruction(idx as usize);
+        if inst.num_qubits() == 1 && inst.gate.is_unitary() {
+            continue;
+        }
+        let on_pair =
+            inst.qubits.len() == 2 && inst.qubits.contains(&p1) && inst.qubits.contains(&p2);
+        if on_pair && inst.gate == Gate::Cx {
+            if between_len == 0 {
+                // Directly adjacent: the block-resynthesis term already
+                // captures this case.
+                return None;
+            }
+            let commutes_past_all = between[..between_len]
+                .iter()
+                .all(|&other| instructions_commute(inst, state.instruction(other as usize)));
+            if commutes_past_all {
+                let control = inst.qubits[0];
+                return Some((2.0, SwapOrientation::with_first_control(p1, p2, control)));
+            }
+            return None;
+        }
+        if on_pair {
+            // A non-CNOT gate on the pair (e.g. an earlier SWAP) stops the search.
+            return None;
+        }
+        between[between_len] = idx;
+        between_len += 1;
+    }
+    None
+}
+
+/// `C_commute2` over the windowed index (see [`commute2_reduction`]).
+fn commute2_windowed(
+    state: &RoutingState,
+    window: &[u32],
+    p1: usize,
+    p2: usize,
+) -> Option<(f64, SwapOrientation, usize)> {
+    let mut between = [0u32; SEARCH_WINDOW];
+    let mut between_len = 0usize;
+    for &idx in window {
+        let inst = state.instruction(idx as usize);
+        if inst.num_qubits() == 1 && inst.gate.is_unitary() {
+            continue;
+        }
+        let on_pair =
+            inst.qubits.len() == 2 && inst.qubits.contains(&p1) && inst.qubits.contains(&p2);
+        if on_pair && inst.gate == Gate::Swap {
+            if between_len == 0 {
+                // Back-to-back SWAPs cancel entirely; the block term covers it.
+                return None;
+            }
+            // Try both CNOT orientations for the cancelling pair.
+            for control in [p1, p2] {
+                let target = if control == p1 { p2 } else { p1 };
+                let probe = Instruction::new(Gate::Cx, vec![control, target]);
+                if between[..between_len]
+                    .iter()
+                    .all(|&other| instructions_commute(&probe, state.instruction(other as usize)))
+                {
+                    return Some((
+                        2.0,
+                        SwapOrientation::with_first_control(p1, p2, control),
+                        idx as usize,
+                    ));
+                }
+            }
+            return None;
+        }
+        if on_pair {
+            return None;
+        }
+        between[between_len] = idx;
+        between_len += 1;
+    }
+    None
+}
+
 /// The indices (in circuit order) of the last [`SEARCH_WINDOW`] instructions
 /// touching `p1` or `p2`.
 fn touching_window(output: &QuantumCircuit, p1: usize, p2: usize) -> Vec<usize> {
@@ -305,27 +487,32 @@ fn trailing_block(output: &QuantumCircuit, p1: usize, p2: usize) -> Option<Vec<I
 fn block_matrix(block: &[Instruction], low: usize) -> Matrix4 {
     let mut acc = Matrix4::identity();
     for inst in block {
-        let m = match inst.num_qubits() {
-            1 => {
-                let g = inst.gate.matrix2().expect("1q gate in block has matrix");
-                if inst.qubits[0] == low {
-                    Matrix2::identity().kron(&g)
-                } else {
-                    g.kron(&Matrix2::identity())
-                }
-            }
-            _ => {
-                let g = inst.gate.matrix4().expect("2q gate in block has matrix");
-                if inst.qubits[0] == low {
-                    g
-                } else {
-                    g.swap_qubits()
-                }
-            }
-        };
-        acc = m.mul(&acc);
+        acc = instruction_matrix(inst, low).mul(&acc);
     }
     acc
+}
+
+/// The 4×4 matrix of one pair-confined instruction (`low` is the
+/// least-significant qubit of the pair).
+fn instruction_matrix(inst: &Instruction, low: usize) -> Matrix4 {
+    match inst.num_qubits() {
+        1 => {
+            let g = inst.gate.matrix2().expect("1q gate in block has matrix");
+            if inst.qubits[0] == low {
+                Matrix2::identity().kron(&g)
+            } else {
+                g.kron(&Matrix2::identity())
+            }
+        }
+        _ => {
+            let g = inst.gate.matrix4().expect("2q gate in block has matrix");
+            if inst.qubits[0] == low {
+                g
+            } else {
+                g.swap_qubits()
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -433,6 +620,36 @@ mod tests {
         output.cx(2, 1).u(0.1, 0.2, 0.3, 1).cx(0, 1).t(2);
         let r = evaluate_swap_reduction(&output, 1, 2, &OptimizationFlags::all());
         assert_eq!(r.c_commute1, 2.0, "the U3 on qubit 1 must be skipped");
+    }
+
+    #[test]
+    fn windowed_reductions_match_the_reference_scan() {
+        let mut output = QuantumCircuit::new(4);
+        output
+            .cx(2, 1)
+            .u(0.1, 0.2, 0.3, 1)
+            .cx(0, 1)
+            .t(2)
+            .swap(0, 1)
+            .cx(2, 1)
+            .h(3)
+            .cx(3, 2);
+        let state = RoutingState::from_circuit(output.clone());
+        for flags in OptimizationFlags::all_combinations() {
+            for p1 in 0..4 {
+                for p2 in 0..4 {
+                    if p1 == p2 {
+                        continue;
+                    }
+                    assert_eq!(
+                        evaluate_swap_reduction_windowed(&state, p1, p2, &flags),
+                        evaluate_swap_reduction(&output, p1, p2, &flags),
+                        "pair ({p1}, {p2}) flags {}",
+                        flags.label()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -49,7 +49,9 @@ pub use batch::{
     transpile_batch, transpile_batch_on, transpile_batch_prepared, transpile_batch_prepared_on,
     BatchJob, DistanceCache,
 };
-pub use cost::{evaluate_swap_reduction, OptimizationFlags, SwapReduction};
+pub use cost::{
+    evaluate_swap_reduction, evaluate_swap_reduction_windowed, OptimizationFlags, SwapReduction,
+};
 pub use pipeline::{
     decompose_swaps_fixed, distances_for, embed, optimize_without_routing, transpile,
     transpile_prepared, transpile_prepared_on, transpile_with_distances, RouterKind,

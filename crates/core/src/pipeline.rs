@@ -12,7 +12,7 @@ use nassc_passes::{
     apply_layout, standard_optimization_pipeline, PassError, PassManager, UnrollToBasis,
 };
 use nassc_sabre::{
-    route_with_policy, sabre_layout, LayoutTrials, RoutingResult, SabreConfig, SabrePolicy,
+    route_with_policy_on, sabre_layout_on, LayoutTrials, RoutingResult, SabreConfig, SabrePolicy,
     SwapPolicy,
 };
 use nassc_synthesis::{swap_decomposition, SwapOrientation};
@@ -48,7 +48,7 @@ pub struct TranspileOptions {
     /// Number of independent layout trials (see
     /// [`nassc_sabre::LayoutTrials`]). `1` (the default) selects the
     /// single-trial compatibility path, whose outputs are bit-identical to
-    /// the historical single-`StdRng` [`sabre_layout`]; `N > 1` runs `N`
+    /// the historical single-`StdRng` [`nassc_sabre::sabre_layout`]; `N > 1` runs `N`
     /// independently seeded trials refined through the router's own
     /// [`nassc_sabre::SwapPolicy`] and keeps the one whose full routing pass
     /// costs least — fewest SWAPs for SABRE, fewest CNOTs surviving the
@@ -240,10 +240,15 @@ pub fn transpile_prepared(
     )
 }
 
-/// [`transpile_prepared`] with an explicit pool for the layout trials.
+/// [`transpile_prepared`] with an explicit worker budget.
 ///
-/// The pool size affects wall clock only: every layout trial owns a private
-/// seed stream, so the output is bit-identical at any worker count.
+/// The budget is split between the two parallelism levels inside one
+/// transpile via [`ThreadPool::split_budget`]: layout trials fan across the
+/// outer share, and each routing pass fans its per-candidate SWAP scoring
+/// across the inner share (in single-trial mode the whole budget goes to
+/// in-pass scoring). The pool size affects wall clock only: every layout
+/// trial owns a private seed stream and candidate scores reduce serially in
+/// shuffled order, so the output is bit-identical at any worker count.
 ///
 /// # Errors
 ///
@@ -256,6 +261,7 @@ pub fn transpile_prepared_on(
     trial_pool: &ThreadPool,
 ) -> Result<TranspileResult, PassError> {
     let start = Instant::now();
+    let (trial_pool, score_pool) = trial_pool.split_budget(options.layout_trials);
 
     // Layout, routing and SWAP decomposition; the two arms differ only in
     // the SWAP policy, the trial cost and how SWAPs are decomposed. SABRE
@@ -272,7 +278,8 @@ pub fn transpile_prepared_on(
             coupling,
             distances,
             options,
-            trial_pool,
+            &trial_pool,
+            &score_pool,
             || SabrePolicy,
             |routed, _| routed.swap_count as f64,
             |routed, _| decompose_swaps_fixed(&routed.circuit),
@@ -282,7 +289,8 @@ pub fn transpile_prepared_on(
             coupling,
             distances,
             options,
-            trial_pool,
+            &trial_pool,
+            &score_pool,
             || NasscPolicy::new(options.flags),
             |routed, policy| policy.decompose_swaps(&routed.circuit).cx_count() as f64,
             |routed, policy| policy.decompose_swaps(&routed.circuit),
@@ -321,18 +329,19 @@ fn layout_route_decompose<P, F, S, D>(
     distances: &DistanceMatrix,
     options: &TranspileOptions,
     trial_pool: &ThreadPool,
+    score_pool: &ThreadPool,
     make_policy: F,
     score: S,
     decompose: D,
 ) -> (RoutingResult, QuantumCircuit, usize, Vec<f64>)
 where
-    P: SwapPolicy + Send,
+    P: SwapPolicy + Send + Sync,
     F: Fn() -> P + Sync,
     S: Fn(&RoutingResult, &P) -> f64 + Sync,
     D: Fn(&RoutingResult, &P) -> QuantumCircuit,
 {
     if options.layout_trials <= 1 {
-        let layout = sabre_layout(prepared, coupling, distances, &options.config);
+        let layout = sabre_layout_on(prepared, coupling, distances, &options.config, score_pool);
         let (routed, policy) = route_from(
             prepared,
             coupling,
@@ -340,6 +349,7 @@ where
             &layout,
             options,
             &make_policy,
+            score_pool,
         );
         let decomposed = decompose(&routed, &policy);
         return (routed, decomposed, 0, Vec::new());
@@ -347,7 +357,8 @@ where
 
     let engine = LayoutTrials::new(prepared, coupling, distances, &options.config)
         .trials(options.layout_trials)
-        .pool(*trial_pool);
+        .pool(*trial_pool)
+        .score_pool(*score_pool);
     let (selection, winner) = engine.run_routed(&make_policy, score);
     let costs = selection.trial_costs();
     let (routed, policy) = match winner {
@@ -361,6 +372,7 @@ where
             &selection.layout,
             options,
             &make_policy,
+            score_pool,
         ),
     };
     let decomposed = decompose(&routed, &policy);
@@ -376,13 +388,14 @@ fn route_from<P, F>(
     layout: &Layout,
     options: &TranspileOptions,
     make_policy: &F,
+    score_pool: &ThreadPool,
 ) -> (RoutingResult, P)
 where
-    P: SwapPolicy,
+    P: SwapPolicy + Sync,
     F: Fn() -> P,
 {
     let mut policy = make_policy();
-    let routed = route_with_policy(
+    let routed = route_with_policy_on(
         prepared,
         coupling,
         distances,
@@ -390,6 +403,7 @@ where
         &options.config,
         &mut policy,
         &mut StdRng::seed_from_u64(options.config.seed),
+        score_pool,
     );
     (routed, policy)
 }

@@ -4,11 +4,11 @@
 use std::collections::HashMap;
 
 use nassc_circuit::{Gate, Instruction, QuantumCircuit};
-use nassc_sabre::{RoutingContext, SwapPolicy};
+use nassc_sabre::{RoutingContext, RoutingState, SwapPolicy};
 use nassc_synthesis::{swap_decomposition, SwapOrientation};
 use nassc_topology::Layout;
 
-use crate::cost::{evaluate_swap_reduction, OptimizationFlags};
+use crate::cost::{evaluate_swap_reduction_windowed, OptimizationFlags};
 
 /// NASSC's SWAP-scoring policy.
 ///
@@ -75,15 +75,14 @@ impl NasscPolicy {
 }
 
 impl SwapPolicy for NasscPolicy {
-    fn score(&mut self, ctx: &RoutingContext<'_>, p1: usize, p2: usize) -> f64 {
-        let trial = ctx.layout_after_swap(p1, p2);
+    fn score(&self, ctx: &RoutingContext<'_>, p1: usize, p2: usize) -> f64 {
         let front_len = ctx.front.len().max(1) as f64;
-        let reduction = evaluate_swap_reduction(ctx.output, p1, p2, &self.flags);
-        let basic = (3.0 * ctx.front_distance(&trial) - reduction.total()) / front_len;
+        let reduction = evaluate_swap_reduction_windowed(ctx.state, p1, p2, &self.flags);
+        let basic = (3.0 * ctx.front_distance_after_swap(p1, p2) - reduction.total()) / front_len;
         let extended = if ctx.extended.is_empty() {
             0.0
         } else {
-            ctx.config.extended_set_weight * ctx.extended_distance(&trial)
+            ctx.config.extended_set_weight * ctx.extended_distance_after_swap(p1, p2)
                 / ctx.extended.len() as f64
         };
         basic + extended
@@ -91,47 +90,46 @@ impl SwapPolicy for NasscPolicy {
 
     fn before_swap_emit(
         &mut self,
-        output: &mut QuantumCircuit,
+        output: &mut RoutingState,
         _layout: &Layout,
         p1: usize,
         p2: usize,
     ) {
         // Re-evaluate the winning candidate to fix its decomposition
         // orientation (and its sandwich partner's).
-        let reduction = evaluate_swap_reduction(output, p1, p2, &self.flags);
+        let reduction = evaluate_swap_reduction_windowed(output, p1, p2, &self.flags);
         self.pending_orientation = reduction.orientation;
         self.pending_partner = reduction.partner_swap_index;
 
         // Single-qubit movement: trailing one-qubit gates on the swapped
         // wires can hop over the SWAP (retargeted to the partner wire), so
-        // they no longer block commutation-based cancellation.
+        // they no longer block commutation-based cancellation. Detaching
+        // goes through `RoutingState::pop`, which keeps the touch index
+        // exact without rebuilding the instruction vector.
         self.detached_gates.clear();
-        let mut instructions: Vec<Instruction> = output.instructions().to_vec();
-        while let Some(last) = instructions.last() {
-            let movable = last.gate.is_unitary()
-                && last.num_qubits() == 1
-                && (last.qubits[0] == p1 || last.qubits[0] == p2);
+        loop {
+            let movable = match output.circuit().instructions().last() {
+                Some(last) => {
+                    last.gate.is_unitary()
+                        && last.num_qubits() == 1
+                        && (last.qubits[0] == p1 || last.qubits[0] == p2)
+                }
+                None => false,
+            };
             if !movable {
                 break;
             }
-            let gate = instructions.pop().expect("checked non-empty");
+            let gate = output.pop().expect("checked non-empty");
             let other = if gate.qubits[0] == p1 { p2 } else { p1 };
             self.detached_gates
                 .push(Instruction::new(gate.gate, vec![other]));
         }
-        if !self.detached_gates.is_empty() {
-            self.detached_gates.reverse();
-            let mut rebuilt = QuantumCircuit::new(output.num_qubits());
-            for inst in instructions {
-                rebuilt.push(inst);
-            }
-            *output = rebuilt;
-        }
+        self.detached_gates.reverse();
     }
 
     fn after_swap_emit(
         &mut self,
-        output: &mut QuantumCircuit,
+        output: &mut RoutingState,
         swap_index: usize,
         _p1: usize,
         _p2: usize,
@@ -220,15 +218,17 @@ mod tests {
     fn single_qubit_gates_move_through_the_swap() {
         // Manually exercise the emission hooks: a trailing U3 on one of the
         // swapped wires must end up after the SWAP, on the other wire.
-        let mut output = QuantumCircuit::new(2);
-        output.cx(0, 1).u(0.1, 0.2, 0.3, 0);
-        let before = output.clone();
+        let mut circuit = QuantumCircuit::new(2);
+        circuit.cx(0, 1).u(0.1, 0.2, 0.3, 0);
+        let before = circuit.clone();
+        let mut output = RoutingState::from_circuit(circuit);
         let mut policy = NasscPolicy::new(OptimizationFlags::all());
         let layout = Layout::trivial(2);
         policy.before_swap_emit(&mut output, &layout, 0, 1);
-        output.swap(0, 1);
+        output.push(Instruction::new(Gate::Swap, vec![0, 1]));
         let swap_index = output.num_gates() - 1;
         policy.after_swap_emit(&mut output, swap_index, 0, 1);
+        let output = output.into_circuit();
         // The U3 now sits after the SWAP on wire 1.
         let last = output.instructions().last().unwrap();
         assert_eq!(last.gate.name(), "u");

@@ -26,18 +26,18 @@
 //! ```
 
 pub use nassc_core::{
-    decompose_swaps_fixed, distances_for, embed, evaluate_swap_reduction, optimize_without_routing,
-    transpile, transpile_batch, transpile_batch_on, transpile_batch_prepared,
-    transpile_batch_prepared_on, transpile_prepared, transpile_prepared_on,
-    transpile_with_distances, BatchJob, DistanceCache, NasscPolicy, OptimizationFlags, RouterKind,
-    SwapReduction, TranspileOptions, TranspileResult,
+    decompose_swaps_fixed, distances_for, embed, evaluate_swap_reduction,
+    evaluate_swap_reduction_windowed, optimize_without_routing, transpile, transpile_batch,
+    transpile_batch_on, transpile_batch_prepared, transpile_batch_prepared_on, transpile_prepared,
+    transpile_prepared_on, transpile_with_distances, BatchJob, DistanceCache, NasscPolicy,
+    OptimizationFlags, RouterKind, SwapReduction, TranspileOptions, TranspileResult,
 };
 
 // The multi-trial layout subsystem (see `nassc::sabre::layout`): the engine,
 // its selection/outcome records and the deterministic seed splitter, surfaced
 // at the top level because `TranspileOptions::with_layout_trials` consumers
 // read its diagnostics.
-pub use nassc_sabre::{split_seed, LayoutSelection, LayoutTrials, TrialOutcome};
+pub use nassc_sabre::{split_seed, LayoutSelection, LayoutTrials, RoutingState, TrialOutcome};
 
 // Sub-crate namespaces, so downstream code can write `nassc::circuit::...`
 // without depending on each `nassc-*` crate individually.

@@ -3,8 +3,8 @@
 //! The build environment has no access to crates.io (mirroring
 //! `crates/compat/`), so instead of `rayon` this crate provides the small
 //! slice of it the NASSC pipelines need: an order-preserving
-//! [`ThreadPool::map`] built on [`std::thread::scope`]. Workers pull `(index,
-//! item)` jobs from a shared queue and write results back into their original
+//! [`ThreadPool::map`] built on [`std::thread::scope`]. Workers draw job
+//! indices from an atomic counter and write results back into their original
 //! slot, so the output order — and therefore every downstream aggregate — is
 //! identical to a serial `Vec::into_iter().map(f).collect()`, regardless of
 //! how the OS schedules the workers.
@@ -26,7 +26,7 @@
 //! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
 //! ```
 
-use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Environment variable overriding the worker count picked by
@@ -110,6 +110,11 @@ impl ThreadPool {
     /// hands the entire budget to its nested work. Because [`map`](Self::map)
     /// is order-preserving at every worker count, the split affects wall
     /// clock only, never results.
+    ///
+    /// Splits chain: the batch engine splits its budget between jobs and
+    /// each job's share, and the transpile pipeline splits that share again
+    /// between layout trials and in-pass SWAP scoring — the product of all
+    /// levels never exceeds the original budget.
     pub fn split_budget(&self, jobs: usize) -> (ThreadPool, ThreadPool) {
         let outer = self.threads.min(jobs.max(1));
         let inner = (self.threads / outer).max(1);
@@ -133,30 +138,56 @@ impl ThreadPool {
         if self.threads == 1 || n <= 1 {
             return items.into_iter().map(f).collect();
         }
+        // Park each item in its own slot and dispatch by index through the
+        // shared worker loop; every slot is taken exactly once, so the
+        // per-item lock is never contended.
+        let inputs: Vec<Mutex<Option<T>>> =
+            items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        self.map_range(n, |index| {
+            let item = inputs[index]
+                .lock()
+                .expect("input slot poisoned")
+                .take()
+                .expect("each index is dispatched exactly once");
+            f(item)
+        })
+    }
 
-        let queue: Mutex<VecDeque<(usize, T)>> =
-            Mutex::new(items.into_iter().enumerate().collect());
+    /// Applies `f` to every index in `0..n`, returning results in index
+    /// order — [`map`](Self::map) over `(0..n).collect()` minus the input
+    /// vector, and the primitive `map` itself is built on: workers draw
+    /// indices from an atomic counter, so dispatching allocates nothing
+    /// beyond the result slots. Built for per-step fan-outs inside hot
+    /// loops (the routing engine scores SWAP candidates through this every
+    /// step).
+    pub fn map_range<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if self.threads == 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let workers = self.threads.min(n);
-
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
-                    // Pop under the lock, compute outside it.
-                    let job = queue.lock().expect("job queue poisoned").pop_front();
-                    let Some((index, item)) = job else { break };
-                    let result = f(item);
-                    *slots[index].lock().expect("result slot poisoned") = Some(result);
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= n {
+                        break;
+                    }
+                    *slots[index].lock().expect("result slot poisoned") = Some(f(index));
                 });
             }
         });
-
         slots
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
                     .expect("result slot poisoned")
-                    .expect("every queued job stores a result before the scope ends")
+                    .expect("every index stores a result before the scope ends")
             })
             .collect()
     }
@@ -216,6 +247,24 @@ mod tests {
         });
         assert_eq!(counter.load(Ordering::Relaxed), 100);
         assert_eq!(results.len(), 100);
+    }
+
+    #[test]
+    fn map_range_matches_serial_and_preserves_order() {
+        let expected: Vec<usize> = (0..113).map(|i| i * 7 + 2).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = ThreadPool::new(threads).map_range(113, |i| i * 7 + 2);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+        assert_eq!(ThreadPool::new(4).map_range(0, |i| i), Vec::<usize>::new());
+        assert_eq!(ThreadPool::new(4).map_range(1, |i| i + 9), vec![9]);
+    }
+
+    #[test]
+    fn map_range_runs_every_index_exactly_once() {
+        let counts: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        ThreadPool::new(5).map_range(64, |i| counts[i].fetch_add(1, Ordering::Relaxed));
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
     }
 
     #[test]

@@ -7,12 +7,17 @@ use nassc_circuit::{circuit_unitary, Instruction, QuantumCircuit};
 
 use crate::manager::{PassError, TranspilePass};
 
-/// Decides whether two instructions commute as operators.
+/// Decides whether two instructions commute as operators (up to global
+/// phase, matching the unitary comparison below).
 ///
 /// Non-unitary instructions (measurements, barriers) never commute with
-/// anything. Instructions on disjoint qubits always commute. Otherwise the
-/// check is exact: both orderings are multiplied out on the (at most four)
-/// qubits involved and compared.
+/// anything. Instructions on disjoint qubits always commute. Overlapping
+/// pairs first try an exact structural fast path (`commute_fast_path`) —
+/// this function sits in both NASSC's in-routing commute searches and the
+/// commutation-analysis optimization pass, where multiplying out unitaries
+/// for every `rz`-vs-`cx` pair dominated the whole transpile. Pairs the fast
+/// path cannot decide fall back to the exact check: both orderings are
+/// multiplied out on the (at most four) qubits involved and compared.
 pub fn instructions_commute(a: &Instruction, b: &Instruction) -> bool {
     if !a.gate.is_unitary() || !b.gate.is_unitary() {
         return false;
@@ -20,6 +25,17 @@ pub fn instructions_commute(a: &Instruction, b: &Instruction) -> bool {
     if !a.overlaps(b) {
         return true;
     }
+    if let Some(answer) = commute_fast_path(a, b) {
+        return answer;
+    }
+    commute_by_unitary(a, b)
+}
+
+/// The exact fallback: both orderings multiplied out on the union of the
+/// qubits involved and compared up to global phase. This is the ground
+/// truth every [`commute_fast_path`] verdict must agree with (the test
+/// suite sweeps the covered pairs against it).
+fn commute_by_unitary(a: &Instruction, b: &Instruction) -> bool {
     // Map the union of qubits onto a compact register.
     let mut qubits: Vec<usize> = a.qubits.iter().chain(b.qubits.iter()).copied().collect();
     qubits.sort_unstable();
@@ -32,6 +48,108 @@ pub fn instructions_commute(a: &Instruction, b: &Instruction) -> bool {
     ba.push(b.map_qubits(index_of));
     ba.push(a.map_qubits(index_of));
     circuit_unitary(&ab).approx_eq_up_to_phase(&circuit_unitary(&ba), 1e-9)
+}
+
+/// Tolerance of the structural fast paths, matching the unitary comparison.
+const COMMUTE_TOL: f64 = 1e-9;
+
+/// Structural commutation rules for the gate pairs that dominate routed
+/// circuits (`cx`/`swap`/`cz` and single-qubit gates around them). Returns
+/// `None` when the pair is not covered — the caller then performs the full
+/// unitary comparison. Every `Some` verdict agrees with that comparison:
+/// the rules are block-structure identities, with 2×2 matrix conditions (at
+/// the same tolerance) standing in for the 4×4/8×8 products.
+fn commute_fast_path(a: &Instruction, b: &Instruction) -> Option<bool> {
+    use nassc_circuit::Gate;
+
+    // Any instruction commutes with an identical copy of itself.
+    if a.gate == b.gate && a.qubits == b.qubits {
+        return Some(true);
+    }
+    match (a.num_qubits(), b.num_qubits()) {
+        // Overlapping one-qubit gates share their only qubit: compare the
+        // 2×2 products directly.
+        (1, 1) => {
+            let (ma, mb) = (a.gate.matrix2()?, b.gate.matrix2()?);
+            Some(mb.mul(&ma).approx_eq_up_to_phase(&ma.mul(&mb), COMMUTE_TOL))
+        }
+        (1, 2) => one_qubit_vs_two(a, b),
+        (2, 1) => one_qubit_vs_two(b, a),
+        (2, 2) => {
+            let diagonal = |g: &Gate| matches!(g, Gate::Cz | Gate::Cp(_) | Gate::Crz(_));
+            // Two diagonal gates always commute, however they overlap.
+            if diagonal(&a.gate) && diagonal(&b.gate) {
+                return Some(true);
+            }
+            match (&a.gate, &b.gate) {
+                (Gate::Cx, Gate::Cx) => {
+                    // CNOTs commute iff they share only controls or only
+                    // targets; a control meeting a target does not commute.
+                    let control_clash = a.qubits[0] == b.qubits[1] || a.qubits[1] == b.qubits[0];
+                    Some(!control_clash)
+                }
+                // SWAP vs SWAP or vs the exchange-symmetric CZ: on the same
+                // pair the SWAP leaves the other gate fixed (qubit order is
+                // immaterial for both), so they commute; any partial overlap
+                // relabels a wire the other gate uses and never commutes.
+                (Gate::Swap, Gate::Swap | Gate::Cz) | (Gate::Cz, Gate::Swap) => {
+                    Some(a.qubits.contains(&b.qubits[0]) && a.qubits.contains(&b.qubits[1]))
+                }
+                // CX is *not* exchange-symmetric: a SWAP on its own pair
+                // flips control and target.
+                (Gate::Swap, Gate::Cx) | (Gate::Cx, Gate::Swap) => Some(false),
+                // A diagonal gate commutes with a CNOT iff it avoids the
+                // target wire (`cz` is fixed and never trivial, so touching
+                // the target is a definite no).
+                (Gate::Cz, Gate::Cx) => Some(!a.qubits.contains(&b.qubits[1])),
+                (Gate::Cx, Gate::Cz) => Some(!b.qubits.contains(&a.qubits[1])),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Fast path for a one-qubit gate against an overlapping two-qubit gate.
+///
+/// For `one` on the control of a CNOT the orderings agree iff `one` is
+/// diagonal; on the target, iff `one` commutes with Pauli-X — both read off
+/// the 2×2 matrix. A one-qubit gate commutes with a SWAP it touches iff it
+/// is (up to phase) the identity, i.e. diagonal with equal entries.
+fn one_qubit_vs_two(one: &Instruction, two: &Instruction) -> Option<bool> {
+    use nassc_circuit::Gate;
+
+    let m = one.gate.matrix2()?;
+    let q = one.qubits[0];
+    let diagonal = m.get(0, 1).abs() <= COMMUTE_TOL && m.get(1, 0).abs() <= COMMUTE_TOL;
+    match two.gate {
+        Gate::Cx => {
+            if q == two.qubits[0] {
+                Some(diagonal)
+            } else {
+                // Commutes with the target's Pauli-X iff symmetric with
+                // equal diagonal entries.
+                Some(
+                    (m.get(0, 0) - m.get(1, 1)).abs() <= COMMUTE_TOL
+                        && (m.get(0, 1) - m.get(1, 0)).abs() <= COMMUTE_TOL,
+                )
+            }
+        }
+        // `cz`/`cp`/`crz` are diagonal on both wires: a diagonal one-qubit
+        // gate commutes; a non-diagonal one does not (its off-diagonal
+        // component would have to vanish against a diagonal that, for these
+        // gates, is never proportional to identity... which the full check
+        // resolves — so only the `true` side is decided structurally).
+        Gate::Cz | Gate::Cp(_) | Gate::Crz(_) => {
+            if diagonal {
+                Some(true)
+            } else {
+                None
+            }
+        }
+        Gate::Swap => Some(diagonal && (m.get(0, 0) - m.get(1, 1)).abs() <= COMMUTE_TOL),
+        _ => None,
+    }
 }
 
 /// The per-wire commutation structure of a circuit.
@@ -205,6 +323,67 @@ fn cancel_once(circuit: &QuantumCircuit, max_set_size: usize) -> (QuantumCircuit
 mod tests {
     use super::*;
     use nassc_circuit::{circuits_equivalent, Gate};
+
+    /// Every `Some` verdict of the structural fast path must agree with the
+    /// unitary ground truth — swept exhaustively over the covered gate set
+    /// and every qubit assignment on a 3-qubit register (which realises
+    /// every overlap shape: disjointness is handled before the fast path).
+    #[test]
+    fn fast_path_verdicts_match_the_unitary_ground_truth() {
+        let one_qubit = [
+            Gate::I,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::H,
+            Gate::S,
+            Gate::T,
+            Gate::Sx,
+            Gate::Rz(0.37),
+            Gate::Rz(0.0),
+            Gate::Rx(1.2),
+            Gate::Phase(0.9),
+            Gate::U(0.3, 0.1, 2.0),
+        ];
+        let mut instructions: Vec<Instruction> = Vec::new();
+        for gate in one_qubit {
+            for q in 0..3 {
+                instructions.push(Instruction::new(gate.clone(), vec![q]));
+            }
+        }
+        for gate in [
+            Gate::Cx,
+            Gate::Cz,
+            Gate::Swap,
+            Gate::Cp(0.8),
+            Gate::Crz(0.4),
+        ] {
+            for a in 0..3 {
+                for b in 0..3 {
+                    if a != b {
+                        instructions.push(Instruction::new(gate.clone(), vec![a, b]));
+                    }
+                }
+            }
+        }
+        let mut checked = 0usize;
+        for a in &instructions {
+            for b in &instructions {
+                if !a.overlaps(b) {
+                    continue;
+                }
+                if let Some(fast) = commute_fast_path(a, b) {
+                    assert_eq!(
+                        fast,
+                        commute_by_unitary(a, b),
+                        "fast path disagrees with the unitary check for {a} vs {b}"
+                    );
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 500, "sweep only covered {checked} pairs");
+    }
 
     #[test]
     fn commutation_of_standard_pairs() {

@@ -23,12 +23,12 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use nassc_circuit::QuantumCircuit;
+use nassc_circuit::{DagCircuit, QuantumCircuit};
 use nassc_parallel::ThreadPool;
 use nassc_topology::{CouplingMap, DistanceMatrix, Layout};
 
 use crate::config::SabreConfig;
-use crate::router::{route_with_policy, RoutingResult, SabrePolicy, SwapPolicy};
+use crate::router::{route_prepared, RoutingResult, SabrePolicy, SwapPolicy};
 
 /// Derives an independent child seed from `base` and a stream index.
 ///
@@ -59,30 +59,48 @@ pub fn sabre_layout(
     distances: &DistanceMatrix,
     config: &SabreConfig,
 ) -> Layout {
+    sabre_layout_on(circuit, coupling, distances, config, &ThreadPool::new(1))
+}
+
+/// [`sabre_layout`] with an explicit pool for in-pass candidate scoring
+/// (see [`crate::router::route_with_policy_on`]). The pool affects wall
+/// clock only — outputs are bit-identical at any worker count.
+pub fn sabre_layout_on(
+    circuit: &QuantumCircuit,
+    coupling: &CouplingMap,
+    distances: &DistanceMatrix,
+    config: &SabreConfig,
+    score_pool: &ThreadPool,
+) -> Layout {
     if circuit.two_qubit_gate_count() == 0 {
         return Layout::trivial(coupling.num_qubits());
     }
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut layout = Layout::random(coupling.num_qubits(), &mut rng);
-    let reversed = circuit.reversed();
+    // The refinement rounds route the same two circuits over and over;
+    // build each dependency DAG once instead of once per pass.
+    let dag = DagCircuit::from_circuit(circuit);
+    let reversed_dag = DagCircuit::from_circuit(&circuit.reversed());
     for _ in 0..config.layout_iterations {
-        let forward = route_with_policy(
-            circuit,
+        let forward = route_prepared(
+            &dag,
             coupling,
             distances,
             &layout,
             config,
             &mut SabrePolicy,
             &mut rng,
+            score_pool,
         );
-        let backward = route_with_policy(
-            &reversed,
+        let backward = route_prepared(
+            &reversed_dag,
             coupling,
             distances,
             &forward.final_layout,
             config,
             &mut SabrePolicy,
             &mut rng,
+            score_pool,
         );
         layout = backward.final_layout;
     }
@@ -186,6 +204,7 @@ pub struct LayoutTrials<'a> {
     config: &'a SabreConfig,
     trials: usize,
     pool: ThreadPool,
+    score_pool: ThreadPool,
 }
 
 impl<'a> LayoutTrials<'a> {
@@ -204,6 +223,7 @@ impl<'a> LayoutTrials<'a> {
             config,
             trials: 1,
             pool: ThreadPool::new(1),
+            score_pool: ThreadPool::new(1),
         }
     }
 
@@ -219,13 +239,22 @@ impl<'a> LayoutTrials<'a> {
         self
     }
 
+    /// Fans each routing pass's candidate scoring across `pool` (results
+    /// never depend on its size). Callers with a fixed worker budget split
+    /// it between trials and scoring via
+    /// [`ThreadPool::split_budget`] so the two levels never oversubscribe.
+    pub fn score_pool(mut self, pool: ThreadPool) -> Self {
+        self.score_pool = pool;
+        self
+    }
+
     /// Runs every trial, scoring each by the SWAP count of its scoring pass,
     /// and returns the winning layout with per-trial diagnostics.
     /// `make_policy` builds a fresh [`SwapPolicy`] for each routing pass, so
     /// stateful policies never leak state across passes.
     pub fn run<P, F>(&self, make_policy: F) -> LayoutSelection
     where
-        P: SwapPolicy + Send,
+        P: SwapPolicy + Send + Sync,
         F: Fn() -> P + Sync,
     {
         self.run_scored(make_policy, |routed, _| routed.swap_count as f64)
@@ -240,7 +269,7 @@ impl<'a> LayoutTrials<'a> {
     /// actually survive, instead of pricing every SWAP equally.
     pub fn run_scored<P, F, S>(&self, make_policy: F, score: S) -> LayoutSelection
     where
-        P: SwapPolicy + Send,
+        P: SwapPolicy + Send + Sync,
         F: Fn() -> P + Sync,
         S: Fn(&RoutingResult, &P) -> f64 + Sync,
     {
@@ -263,7 +292,7 @@ impl<'a> LayoutTrials<'a> {
         score: S,
     ) -> (LayoutSelection, Option<(RoutingResult, P)>)
     where
-        P: SwapPolicy + Send,
+        P: SwapPolicy + Send + Sync,
         F: Fn() -> P + Sync,
         S: Fn(&RoutingResult, &P) -> f64 + Sync,
     {
@@ -275,10 +304,13 @@ impl<'a> LayoutTrials<'a> {
             };
             return (selection, None);
         }
-        let reversed = self.circuit.reversed();
+        // Every trial routes the same two circuits; build each dependency
+        // DAG once and share it across all trials and refinement rounds.
+        let dag = DagCircuit::from_circuit(self.circuit);
+        let reversed_dag = DagCircuit::from_circuit(&self.circuit.reversed());
         let candidates: Vec<(Layout, TrialOutcome, RoutingResult, P)> =
             self.pool.map((0..self.trials).collect(), |trial| {
-                self.run_trial(trial, &reversed, &make_policy, &score)
+                self.run_trial(trial, &dag, &reversed_dag, &make_policy, &score)
             });
         let costs: Vec<f64> = candidates
             .iter()
@@ -310,12 +342,13 @@ impl<'a> LayoutTrials<'a> {
     fn run_trial<P, F, S>(
         &self,
         trial: usize,
-        reversed: &QuantumCircuit,
+        dag: &DagCircuit,
+        reversed_dag: &DagCircuit,
         make_policy: &F,
         score: &S,
     ) -> (Layout, TrialOutcome, RoutingResult, P)
     where
-        P: SwapPolicy,
+        P: SwapPolicy + Sync,
         F: Fn() -> P + Sync,
         S: Fn(&RoutingResult, &P) -> f64 + Sync,
     {
@@ -329,35 +362,38 @@ impl<'a> LayoutTrials<'a> {
 
         let mut layout = Layout::random(self.coupling.num_qubits(), &mut stage_rng());
         for _ in 0..self.config.layout_iterations {
-            let forward = route_with_policy(
-                self.circuit,
+            let forward = route_prepared(
+                dag,
                 self.coupling,
                 self.distances,
                 &layout,
                 self.config,
                 &mut make_policy(),
                 &mut stage_rng(),
+                &self.score_pool,
             );
-            let backward = route_with_policy(
-                reversed,
+            let backward = route_prepared(
+                reversed_dag,
                 self.coupling,
                 self.distances,
                 &forward.final_layout,
                 self.config,
                 &mut make_policy(),
                 &mut stage_rng(),
+                &self.score_pool,
             );
             layout = backward.final_layout;
         }
         let mut scoring_policy = make_policy();
-        let scored = route_with_policy(
-            self.circuit,
+        let scored = route_prepared(
+            dag,
             self.coupling,
             self.distances,
             &layout,
             self.config,
             &mut scoring_policy,
             &mut StdRng::seed_from_u64(self.config.seed),
+            &self.score_pool,
         );
         let outcome = TrialOutcome {
             trial,

@@ -14,7 +14,14 @@
 //! * [`sabre_route`] — SWAP insertion with the plain SABRE heuristic,
 //! * [`route_with_policy`] / [`SwapPolicy`] — the same traversal engine with
 //!   a pluggable cost function, which is how the NASSC router reuses the
-//!   machinery while replacing the scoring.
+//!   machinery while replacing the scoring,
+//! * [`RoutingState`] — the incremental output-circuit state (per-qubit
+//!   touch index with O(1) push/pop and O(window) pair queries) the hot
+//!   loop is built around,
+//! * [`route_with_policy_on`] / [`route_prepared`] — the same routing pass
+//!   with per-candidate SWAP scoring fanned across a thread pool
+//!   (bit-identical to serial at any worker count) and with a prebuilt
+//!   dependency DAG.
 //!
 //! # Example
 //!
@@ -38,11 +45,15 @@
 pub mod config;
 pub mod layout;
 pub mod router;
+pub mod state;
 
 pub use config::SabreConfig;
 pub use layout::{
-    sabre_layout, select_best_trial, split_seed, LayoutSelection, LayoutTrials, TrialOutcome,
+    sabre_layout, sabre_layout_on, select_best_trial, split_seed, LayoutSelection, LayoutTrials,
+    TrialOutcome,
 };
 pub use router::{
-    route_with_policy, sabre_route, RoutingContext, RoutingResult, SabrePolicy, SwapPolicy,
+    route_prepared, route_with_policy, route_with_policy_on, sabre_route, RoutingContext,
+    RoutingResult, SabrePolicy, StepEndpoints, SwapPolicy, PARALLEL_SCORE_THRESHOLD,
 };
+pub use state::RoutingState;

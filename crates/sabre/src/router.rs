@@ -5,15 +5,98 @@
 //! the *scoring* of SWAP candidates to a [`SwapPolicy`]. The plain SABRE
 //! heuristic is provided here as [`SabrePolicy`]; the NASSC crate plugs in
 //! its optimization-aware cost function through the same interface.
+//!
+//! # Hot-loop architecture
+//!
+//! The inner loop is built around incremental state so one routing pass is
+//! O(gates · window) instead of quadratic in the output size:
+//!
+//! * the output circuit lives in a [`RoutingState`], whose per-qubit touch
+//!   indices answer "which recent gates touch this pair?" in O(window) —
+//!   this is what NASSC's commutation searches consume;
+//! * candidate scores are evaluated against per-step cached physical
+//!   endpoints ([`RoutingContext::front_distance_after_swap`]), so scoring a
+//!   SWAP clones no [`Layout`] and allocates nothing;
+//! * [`SwapPolicy::score`] takes `&self`, so candidate scoring is `Sync` and
+//!   [`route_with_policy_on`] can fan it across a [`ThreadPool`]. The argmin
+//!   reduction stays serial in shuffled candidate order, so outputs are
+//!   bit-identical at every worker count;
+//! * all per-step buffers (front layer, extended set, candidate edges,
+//!   scores) are reused scratch owned by the routing loop.
+
+use std::collections::VecDeque;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
 use nassc_circuit::{DagCircuit, Gate, QuantumCircuit};
+use nassc_parallel::ThreadPool;
 use nassc_topology::{CouplingMap, DistanceMatrix, Layout};
 
 use crate::config::SabreConfig;
+use crate::state::RoutingState;
+
+/// Minimum number of SWAP candidates before a step's scoring is fanned
+/// across the score pool. Below this, scoped-thread dispatch costs more than
+/// the scores themselves; the threshold only redirects *where* scores are
+/// computed, never what they are, so results do not depend on it.
+pub const PARALLEL_SCORE_THRESHOLD: usize = 8;
+
+/// Per-step cache of the front/extended layers' *physical* endpoints.
+///
+/// Candidate scoring asks for the front and extended distance after a
+/// hypothetical SWAP, for every candidate. Resolving each gate's logical
+/// qubits through the layout once per step (instead of once per candidate)
+/// and storing the physical pairs flat lets
+/// [`RoutingContext::front_distance_after_swap`] answer with a pure scan —
+/// no layout clone, no DAG chasing, no allocation.
+#[derive(Debug, Default)]
+pub struct StepEndpoints {
+    front: Vec<(u32, u32)>,
+    extended: Vec<(u32, u32)>,
+}
+
+impl StepEndpoints {
+    /// An empty cache (fill it with [`prepare`](Self::prepare)).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resolves the physical endpoint pairs of `front` and `extended` under
+    /// `layout`, reusing the internal buffers.
+    pub fn prepare(
+        &mut self,
+        dag: &DagCircuit,
+        front: &[usize],
+        extended: &[usize],
+        layout: &Layout,
+    ) {
+        let resolve = |node: &usize| {
+            let inst = &dag.node(*node).instruction;
+            (
+                layout.physical_of(inst.qubits[0]) as u32,
+                layout.physical_of(inst.qubits[1]) as u32,
+            )
+        };
+        self.front.clear();
+        self.front.extend(front.iter().map(resolve));
+        self.extended.clear();
+        self.extended.extend(extended.iter().map(resolve));
+    }
+}
+
+/// The physical qubit `p` maps to after a SWAP on `(p1, p2)`.
+#[inline]
+fn after_swap(p: u32, p1: u32, p2: u32) -> usize {
+    if p == p1 {
+        p2 as usize
+    } else if p == p2 {
+        p1 as usize
+    } else {
+        p as usize
+    }
+}
 
 /// Read-only view of the router's state handed to a [`SwapPolicy`] when
 /// scoring a SWAP candidate.
@@ -31,14 +114,51 @@ pub struct RoutingContext<'a> {
     pub extended: &'a [usize],
     /// The logical circuit's dependency DAG.
     pub dag: &'a DagCircuit,
-    /// The physical circuit emitted so far (resolved gates and earlier SWAPs).
-    pub output: &'a QuantumCircuit,
+    /// The physical circuit emitted so far (resolved gates and earlier
+    /// SWAPs), with its per-qubit touch index for windowed queries.
+    pub state: &'a RoutingState,
     /// The heuristic configuration.
     pub config: &'a SabreConfig,
+    endpoints: &'a StepEndpoints,
 }
 
-impl RoutingContext<'_> {
-    /// The summed front-layer distance under a layout.
+impl<'a> RoutingContext<'a> {
+    /// Builds a context over an explicitly prepared [`StepEndpoints`]
+    /// (`endpoints.prepare` must have been called with the same
+    /// `front`/`extended`/`layout`). The router does this once per step;
+    /// exposed so tests and embedders can score candidates directly.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        coupling: &'a CouplingMap,
+        distances: &'a DistanceMatrix,
+        layout: &'a Layout,
+        front: &'a [usize],
+        extended: &'a [usize],
+        dag: &'a DagCircuit,
+        state: &'a RoutingState,
+        config: &'a SabreConfig,
+        endpoints: &'a StepEndpoints,
+    ) -> Self {
+        Self {
+            coupling,
+            distances,
+            layout,
+            front,
+            extended,
+            dag,
+            state,
+            config,
+            endpoints,
+        }
+    }
+
+    /// The output circuit emitted so far.
+    pub fn output(&self) -> &QuantumCircuit {
+        self.state.circuit()
+    }
+
+    /// The summed front-layer distance under a layout (reference path; the
+    /// score path uses [`front_distance_after_swap`](Self::front_distance_after_swap)).
     pub fn front_distance(&self, layout: &Layout) -> f64 {
         self.front
             .iter()
@@ -51,7 +171,7 @@ impl RoutingContext<'_> {
             .sum()
     }
 
-    /// The summed extended-layer distance under a layout.
+    /// The summed extended-layer distance under a layout (reference path).
     pub fn extended_distance(&self, layout: &Layout) -> f64 {
         self.extended
             .iter()
@@ -64,24 +184,54 @@ impl RoutingContext<'_> {
             .sum()
     }
 
-    /// The layout obtained by applying the candidate SWAP.
+    /// The layout obtained by applying the candidate SWAP (reference path —
+    /// the score path never clones a layout).
     pub fn layout_after_swap(&self, p1: usize, p2: usize) -> Layout {
         let mut trial = self.layout.clone();
         trial.swap_physical(p1, p2);
         trial
     }
 
+    /// The summed front-layer distance after a SWAP on `(p1, p2)`, computed
+    /// from the cached physical endpoints: same gates, same summation order
+    /// — bit-identical to `front_distance(&layout_after_swap(p1, p2))` —
+    /// with zero clones and zero allocation.
+    pub fn front_distance_after_swap(&self, p1: usize, p2: usize) -> f64 {
+        let (p1, p2) = (p1 as u32, p2 as u32);
+        self.endpoints
+            .front
+            .iter()
+            .map(|&(a, b)| {
+                self.distances
+                    .weight(after_swap(a, p1, p2), after_swap(b, p1, p2))
+            })
+            .sum()
+    }
+
+    /// The summed extended-layer distance after a SWAP on `(p1, p2)` (see
+    /// [`front_distance_after_swap`](Self::front_distance_after_swap)).
+    pub fn extended_distance_after_swap(&self, p1: usize, p2: usize) -> f64 {
+        let (p1, p2) = (p1 as u32, p2 as u32);
+        self.endpoints
+            .extended
+            .iter()
+            .map(|&(a, b)| {
+                self.distances
+                    .weight(after_swap(a, p1, p2), after_swap(b, p1, p2))
+            })
+            .sum()
+    }
+
     /// SABRE's lookahead distance term: normalised front-layer distance plus
     /// the weighted, normalised extended-layer distance, evaluated after the
     /// candidate SWAP.
     pub fn lookahead_cost(&self, p1: usize, p2: usize) -> f64 {
-        let trial = self.layout_after_swap(p1, p2);
         let front_len = self.front.len().max(1) as f64;
-        let front_term = self.front_distance(&trial) / front_len;
+        let front_term = self.front_distance_after_swap(p1, p2) / front_len;
         let extended_term = if self.extended.is_empty() {
             0.0
         } else {
-            self.config.extended_set_weight * self.extended_distance(&trial)
+            self.config.extended_set_weight * self.extended_distance_after_swap(p1, p2)
                 / self.extended.len() as f64
         };
         front_term + extended_term
@@ -92,16 +242,24 @@ impl RoutingContext<'_> {
 ///
 /// Lower scores are better. The engine multiplies the returned score by the
 /// SABRE decay factor of the two physical qubits before comparing.
+///
+/// [`score`](Self::score) takes `&self` — scoring must be a pure function of
+/// the context and the candidate, which is what lets the engine evaluate
+/// candidates in parallel while staying bit-identical to serial evaluation.
+/// Mutable state belongs in the emission hooks, which run serially exactly
+/// once per inserted SWAP.
 pub trait SwapPolicy {
     /// Scores the SWAP on physical qubits `(p1, p2)`.
-    fn score(&mut self, ctx: &RoutingContext<'_>, p1: usize, p2: usize) -> f64;
+    fn score(&self, ctx: &RoutingContext<'_>, p1: usize, p2: usize) -> f64;
 
     /// Called just before the SWAP instruction is appended to the output,
     /// allowing the policy to rearrange trailing gates (NASSC moves
-    /// single-qubit gates through the SWAP here).
+    /// single-qubit gates through the SWAP here). Mutations must go through
+    /// [`RoutingState::push`]/[`RoutingState::pop`] so the touch index stays
+    /// exact.
     fn before_swap_emit(
         &mut self,
-        _output: &mut QuantumCircuit,
+        _output: &mut RoutingState,
         _layout: &Layout,
         _p1: usize,
         _p2: usize,
@@ -114,7 +272,7 @@ pub trait SwapPolicy {
     /// through the SWAP).
     fn after_swap_emit(
         &mut self,
-        _output: &mut QuantumCircuit,
+        _output: &mut RoutingState,
         _swap_index: usize,
         _p1: usize,
         _p2: usize,
@@ -128,7 +286,7 @@ pub trait SwapPolicy {
 pub struct SabrePolicy;
 
 impl SwapPolicy for SabrePolicy {
-    fn score(&mut self, ctx: &RoutingContext<'_>, p1: usize, p2: usize) -> f64 {
+    fn score(&self, ctx: &RoutingContext<'_>, p1: usize, p2: usize) -> f64 {
         ctx.lookahead_cost(p1, p2)
     }
 }
@@ -148,7 +306,7 @@ pub struct RoutingResult {
     pub swap_count: usize,
 }
 
-/// Routes a logical circuit with the given SWAP policy.
+/// Routes a logical circuit with the given SWAP policy, serially.
 ///
 /// Every gate of the output acts on physical qubits and every two-qubit gate
 /// respects the coupling map (inserted SWAPs included).
@@ -158,7 +316,7 @@ pub struct RoutingResult {
 /// Panics when the device is smaller than the circuit, the coupling graph is
 /// disconnected, or routing fails to make progress (which would indicate an
 /// internal bug).
-pub fn route_with_policy<P: SwapPolicy>(
+pub fn route_with_policy<P: SwapPolicy + Sync>(
     circuit: &QuantumCircuit,
     coupling: &CouplingMap,
     distances: &DistanceMatrix,
@@ -167,32 +325,99 @@ pub fn route_with_policy<P: SwapPolicy>(
     policy: &mut P,
     rng: &mut StdRng,
 ) -> RoutingResult {
+    route_with_policy_on(
+        circuit,
+        coupling,
+        distances,
+        initial_layout,
+        config,
+        policy,
+        rng,
+        &ThreadPool::new(1),
+    )
+}
+
+/// [`route_with_policy`] with an explicit pool for in-pass candidate
+/// scoring. The pool affects wall clock only: scores are computed in
+/// candidate order either way and reduced serially, so the routed output is
+/// bit-identical at any worker count.
+#[allow(clippy::too_many_arguments)]
+pub fn route_with_policy_on<P: SwapPolicy + Sync>(
+    circuit: &QuantumCircuit,
+    coupling: &CouplingMap,
+    distances: &DistanceMatrix,
+    initial_layout: &Layout,
+    config: &SabreConfig,
+    policy: &mut P,
+    rng: &mut StdRng,
+    score_pool: &ThreadPool,
+) -> RoutingResult {
+    let dag = DagCircuit::from_circuit(circuit);
+    route_prepared(
+        &dag,
+        coupling,
+        distances,
+        initial_layout,
+        config,
+        policy,
+        rng,
+        score_pool,
+    )
+}
+
+/// [`route_with_policy_on`] over a prebuilt dependency DAG.
+///
+/// Layout search routes the same circuit (and its reversal) many times;
+/// building the DAG once per circuit instead of once per pass is what this
+/// entry point exists for.
+#[allow(clippy::too_many_arguments)]
+pub fn route_prepared<P: SwapPolicy + Sync>(
+    dag: &DagCircuit,
+    coupling: &CouplingMap,
+    distances: &DistanceMatrix,
+    initial_layout: &Layout,
+    config: &SabreConfig,
+    policy: &mut P,
+    rng: &mut StdRng,
+    score_pool: &ThreadPool,
+) -> RoutingResult {
     assert!(
-        circuit.num_qubits() <= coupling.num_qubits(),
+        dag.num_qubits() <= coupling.num_qubits(),
         "circuit needs {} qubits but the device has {}",
-        circuit.num_qubits(),
+        dag.num_qubits(),
         coupling.num_qubits()
     );
-    let dag = DagCircuit::from_circuit(circuit);
+    let num_physical = coupling.num_qubits();
     let mut in_deg = dag.in_degrees();
     let mut executed = vec![false; dag.num_nodes()];
     let mut ready: Vec<usize> = dag.front_layer();
     let mut layout = initial_layout.clone();
-    let mut output = QuantumCircuit::new(coupling.num_qubits());
-    let mut decay = vec![1.0_f64; coupling.num_qubits()];
+    let mut state = RoutingState::new(num_physical);
+    let mut decay = vec![1.0_f64; num_physical];
     let mut swaps_since_reset = 0usize;
     let mut swap_count = 0usize;
     let mut remaining = dag.num_nodes();
 
-    let max_swaps = 10 + 20 * dag.num_nodes() * coupling.num_qubits();
+    let max_swaps = 10 + 20 * dag.num_nodes() * num_physical;
     let mut total_swaps_guard = 0usize;
+
+    // Reusable per-step scratch: with serial scoring, nothing below
+    // allocates after warm-up (parallel dispatch additionally pays
+    // `map_range`'s result slots and scoped-thread spawns per step).
+    let mut next_ready: Vec<usize> = Vec::new();
+    let mut front: Vec<usize> = Vec::new();
+    let mut extended_scratch = ExtendedScratch::new(dag.num_nodes());
+    let mut candidates: Vec<(usize, usize)> = Vec::new();
+    let mut edge_seen = vec![false; num_physical * num_physical];
+    let mut endpoints = StepEndpoints::new();
+    let mut scores: Vec<f64> = Vec::new();
 
     while remaining > 0 {
         // Execute everything that fits under the current layout.
         let mut progress = true;
         while progress {
             progress = false;
-            let mut next_ready = Vec::new();
+            next_ready.clear();
             for &node in &ready {
                 if executed[node] {
                     continue;
@@ -206,7 +431,7 @@ pub fn route_with_policy<P: SwapPolicy>(
                     true
                 };
                 if runnable {
-                    output.push(inst.map_qubits(|q| layout.physical_of(q)));
+                    state.push(inst.map_qubits(|q| layout.physical_of(q)));
                     executed[node] = true;
                     remaining -= 1;
                     progress = true;
@@ -220,7 +445,7 @@ pub fn route_with_policy<P: SwapPolicy>(
                     next_ready.push(node);
                 }
             }
-            ready = next_ready;
+            std::mem::swap(&mut ready, &mut next_ready);
             ready.sort_unstable();
             ready.dedup();
         }
@@ -229,45 +454,71 @@ pub fn route_with_policy<P: SwapPolicy>(
         }
 
         // The remaining ready gates are two-qubit gates that need SWAPs.
-        let front: Vec<usize> = ready
-            .iter()
-            .copied()
-            .filter(|&n| !executed[n] && dag.node(n).instruction.is_two_qubit())
-            .collect();
+        front.clear();
+        front.extend(
+            ready
+                .iter()
+                .copied()
+                .filter(|&n| !executed[n] && dag.node(n).instruction.is_two_qubit()),
+        );
         assert!(
             !front.is_empty(),
             "routing stalled: unresolved gates remain but the front layer is empty"
         );
-        let extended = collect_extended_set(&dag, &front, &executed, config.extended_set_size);
+        let extended = collect_extended_set(
+            dag,
+            &front,
+            &executed,
+            config.extended_set_size,
+            &mut extended_scratch,
+        );
 
-        // Candidate SWAPs: every coupling edge incident to a front-layer qubit.
-        let mut candidates: Vec<(usize, usize)> = Vec::new();
+        // Candidate SWAPs: every coupling edge incident to a front-layer
+        // qubit, deduplicated through a per-edge bitset (insertion order is
+        // preserved, so the shuffle below sees the same vector as ever).
+        candidates.clear();
         for &node in &front {
             for &logical in &dag.node(node).instruction.qubits {
                 let p = layout.physical_of(logical);
                 for &n in coupling.neighbors(p) {
                     let edge = (p.min(n), p.max(n));
-                    if !candidates.contains(&edge) {
+                    let slot = edge.0 * num_physical + edge.1;
+                    if !edge_seen[slot] {
+                        edge_seen[slot] = true;
                         candidates.push(edge);
                     }
                 }
             }
         }
+        for &(a, b) in &candidates {
+            edge_seen[a * num_physical + b] = false;
+        }
         candidates.shuffle(rng);
 
-        let ctx = RoutingContext {
-            coupling,
-            distances,
-            layout: &layout,
-            front: &front,
-            extended: &extended,
-            dag: &dag,
-            output: &output,
-            config,
-        };
+        endpoints.prepare(dag, &front, extended, &layout);
+        let ctx = RoutingContext::new(
+            coupling, distances, &layout, &front, extended, dag, &state, config, &endpoints,
+        );
+        scores.clear();
+        let policy_ref: &P = policy;
+        if score_pool.threads() > 1 && candidates.len() >= PARALLEL_SCORE_THRESHOLD {
+            // Workers draw candidate indices from an atomic counter, so
+            // parallel dispatch allocates nothing beyond the result slots.
+            scores.extend(score_pool.map_range(candidates.len(), |i| {
+                let (p1, p2) = candidates[i];
+                policy_ref.score(&ctx, p1, p2)
+            }));
+        } else {
+            scores.extend(
+                candidates
+                    .iter()
+                    .map(|&(p1, p2)| policy_ref.score(&ctx, p1, p2)),
+            );
+        }
+        // Serial argmin in shuffled candidate order: ties keep the first
+        // minimum, exactly as the serial scoring loop always has.
         let mut best: Option<((usize, usize), f64)> = None;
-        for &(p1, p2) in &candidates {
-            let raw = policy.score(&ctx, p1, p2);
+        for (&(p1, p2), &raw) in candidates.iter().zip(&scores) {
             let score = raw * decay[p1].max(decay[p2]);
             if best.is_none_or(|(_, b)| score < b) {
                 best = Some(((p1, p2), score));
@@ -275,10 +526,10 @@ pub fn route_with_policy<P: SwapPolicy>(
         }
         let ((p1, p2), _) = best.expect("at least one SWAP candidate");
 
-        policy.before_swap_emit(&mut output, &layout, p1, p2);
-        output.push(nassc_circuit::Instruction::new(Gate::Swap, vec![p1, p2]));
-        let swap_index = output.num_gates() - 1;
-        policy.after_swap_emit(&mut output, swap_index, p1, p2);
+        policy.before_swap_emit(&mut state, &layout, p1, p2);
+        state.push(nassc_circuit::Instruction::new(Gate::Swap, vec![p1, p2]));
+        let swap_index = state.num_gates() - 1;
+        policy.after_swap_emit(&mut state, swap_index, p1, p2);
         layout.swap_physical(p1, p2);
         swap_count += 1;
         total_swaps_guard += 1;
@@ -296,7 +547,7 @@ pub fn route_with_policy<P: SwapPolicy>(
     }
 
     RoutingResult {
-        circuit: output,
+        circuit: state.into_circuit(),
         initial_layout: initial_layout.clone(),
         final_layout: layout,
         swap_count,
@@ -323,34 +574,70 @@ pub fn sabre_route(
     )
 }
 
+/// Reusable buffers for [`collect_extended_set`]: the BFS queue, the visited
+/// bitmap (cleared via the touched list, so a step costs O(visited) rather
+/// than O(nodes)) and the output vector.
+struct ExtendedScratch {
+    queue: VecDeque<usize>,
+    seen: Vec<bool>,
+    seen_touched: Vec<usize>,
+    extended: Vec<usize>,
+}
+
+impl ExtendedScratch {
+    fn new(num_nodes: usize) -> Self {
+        Self {
+            queue: VecDeque::new(),
+            seen: vec![false; num_nodes],
+            seen_touched: Vec::new(),
+            extended: Vec::new(),
+        }
+    }
+}
+
 /// Collects up to `limit` not-yet-executed two-qubit gates reachable from the
-/// front layer — the lookahead (extended) layer.
-fn collect_extended_set(
+/// front layer — the lookahead (extended) layer. Returns a slice into the
+/// scratch's output buffer.
+fn collect_extended_set<'s>(
     dag: &DagCircuit,
     front: &[usize],
     executed: &[bool],
     limit: usize,
-) -> Vec<usize> {
-    let mut extended = Vec::new();
-    let mut queue: std::collections::VecDeque<usize> = front.iter().copied().collect();
-    let mut seen: std::collections::HashSet<usize> = front.iter().copied().collect();
-    while let Some(node) = queue.pop_front() {
-        if extended.len() >= limit {
+    scratch: &'s mut ExtendedScratch,
+) -> &'s [usize] {
+    for node in scratch.seen_touched.drain(..) {
+        scratch.seen[node] = false;
+    }
+    scratch.queue.clear();
+    scratch.extended.clear();
+    for &node in front {
+        if !scratch.seen[node] {
+            scratch.seen[node] = true;
+            scratch.seen_touched.push(node);
+        }
+        scratch.queue.push_back(node);
+    }
+    while let Some(node) = scratch.queue.pop_front() {
+        if scratch.extended.len() >= limit {
             break;
         }
         for &succ in dag.node(node).successors() {
-            if seen.insert(succ) && !executed[succ] {
-                if dag.node(succ).instruction.is_two_qubit() {
-                    extended.push(succ);
-                    if extended.len() >= limit {
-                        break;
+            if !scratch.seen[succ] {
+                scratch.seen[succ] = true;
+                scratch.seen_touched.push(succ);
+                if !executed[succ] {
+                    if dag.node(succ).instruction.is_two_qubit() {
+                        scratch.extended.push(succ);
+                        if scratch.extended.len() >= limit {
+                            break;
+                        }
                     }
+                    scratch.queue.push_back(succ);
                 }
-                queue.push_back(succ);
             }
         }
     }
-    extended
+    &scratch.extended
 }
 
 /// Returns a uniformly random tie-broken integer in `0..n` (helper for
@@ -449,6 +736,43 @@ mod tests {
     }
 
     #[test]
+    fn parallel_scoring_is_bit_identical_to_serial() {
+        use rand::Rng;
+        let grid = CouplingMap::grid(3, 3);
+        let distances = grid.distance_matrix();
+        let layout = Layout::trivial(9);
+        let mut gen = StdRng::seed_from_u64(5);
+        for trial in 0..4 {
+            let mut qc = QuantumCircuit::new(9);
+            for _ in 0..40 {
+                let a = gen.gen_range(0..9);
+                let b = (a + gen.gen_range(1..9)) % 9;
+                qc.cx(a, b);
+            }
+            let config = SabreConfig::with_seed(trial);
+            let route_on = |threads: usize| {
+                route_with_policy_on(
+                    &qc,
+                    &grid,
+                    &distances,
+                    &layout,
+                    &config,
+                    &mut SabrePolicy,
+                    &mut StdRng::seed_from_u64(trial),
+                    &ThreadPool::new(threads),
+                )
+            };
+            let serial = route_on(1);
+            for threads in [2, 8] {
+                let parallel = route_on(threads);
+                assert_eq!(serial.circuit, parallel.circuit, "{threads} threads");
+                assert_eq!(serial.final_layout, parallel.final_layout);
+                assert_eq!(serial.swap_count, parallel.swap_count);
+            }
+        }
+    }
+
+    #[test]
     fn measurements_are_mapped_to_physical_qubits() {
         let line = CouplingMap::linear(3);
         let mut qc = QuantumCircuit::new(2);
@@ -477,7 +801,8 @@ mod tests {
         }
         let dag = DagCircuit::from_circuit(&qc);
         let executed = vec![false; dag.num_nodes()];
-        let extended = collect_extended_set(&dag, &[0], &executed, 2);
+        let mut scratch = ExtendedScratch::new(dag.num_nodes());
+        let extended = collect_extended_set(&dag, &[0], &executed, 2, &mut scratch);
         assert!(extended.len() <= 2);
     }
 }
