@@ -1,0 +1,14 @@
+// 2-to-4 decoder on 4 qubits (QASMBench decod24 shape).
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+x q[0];
+ccx q[0],q[1],q[3];
+cx q[0],q[2];
+ccx q[1],q[2],q[3];
+cx q[1],q[2];
+cx q[0],q[1];
+ccx q[0],q[1],q[2];
+cx q[3],q[0];
+measure q -> c;

@@ -1,0 +1,46 @@
+// Two Grover iterations over 3 data qubits marking |111>, with a
+// ccz built from h/ccx as a user gate.
+OPENQASM 2.0;
+include "qelib1.inc";
+gate ccz a,b,c
+{
+  h c;
+  ccx a,b,c;
+  h c;
+}
+qreg q[4];
+creg c[3];
+h q[0];
+h q[1];
+h q[2];
+ccz q[0],q[1],q[2];
+h q[0];
+h q[1];
+h q[2];
+x q[0];
+x q[1];
+x q[2];
+ccz q[0],q[1],q[2];
+x q[0];
+x q[1];
+x q[2];
+h q[0];
+h q[1];
+h q[2];
+ccz q[0],q[1],q[2];
+h q[0];
+h q[1];
+h q[2];
+x q[0];
+x q[1];
+x q[2];
+ccz q[0],q[1],q[2];
+x q[0];
+x q[1];
+x q[2];
+h q[0];
+h q[1];
+h q[2];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+measure q[2] -> c[2];

@@ -1,0 +1,16 @@
+// Small reversible mod-5 arithmetic netlist (QASMBench style).
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[5];
+creg c[5];
+x q[0];
+x q[2];
+ccx q[1],q[2],q[4];
+cx q[3],q[4];
+ccx q[0],q[3],q[2];
+cx q[4],q[0];
+ccx q[2],q[4],q[1];
+cx q[1],q[3];
+ccx q[0],q[1],q[4];
+cx q[2],q[0];
+measure q -> c;

@@ -1,0 +1,15 @@
+// Phase-kickback demo with controlled rotations and the cu3 composite,
+// exercising expression arithmetic (pi fractions, sqrt) in parameters.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+h q[0];
+h q[1];
+x q[2];
+cp(pi/3) q[0],q[2];
+crx(pi/sqrt(4)) q[1],q[2];
+cu3(pi/5,pi/7,-pi/9) q[0],q[1];
+cry(2*pi/11) q[1],q[0];
+crz(-pi/6) q[2],q[0];
+h q[0];
+h q[1];

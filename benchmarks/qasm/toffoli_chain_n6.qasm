@@ -1,0 +1,18 @@
+// A chain of Toffoli and Fredkin gates with phase seasoning: stresses the
+// 3-qubit decompositions and the s/t phase family.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[6];
+h q[0];
+h q[1];
+ccx q[0],q[1],q[2];
+t q[2];
+ccx q[1],q[2],q[3];
+tdg q[3];
+cswap q[0],q[3],q[4];
+s q[4];
+ccx q[2],q[3],q[4];
+sdg q[4];
+cswap q[1],q[4],q[5];
+ccx q[3],q[4],q[5];
+h q[5];

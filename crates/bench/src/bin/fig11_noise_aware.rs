@@ -23,6 +23,13 @@ fn main() {
     if args.full {
         eprintln!("warning: --full has no effect; Figure 11 always uses the noise suite");
     }
+    if args.qasm_dir.is_some() {
+        // Success-rate simulation is tuned to the five small noise-suite
+        // circuits; silently reporting built-in numbers for a user corpus
+        // would be worse than refusing.
+        eprintln!("error: --qasm-dir is not supported; Figure 11 always uses the noise suite");
+        std::process::exit(1);
+    }
     let shots: usize = cli_usize("--shots").unwrap_or(8192);
     let device = CouplingMap::ibmq_montreal();
     let calibration = Calibration::synthetic(&device, 2022);

@@ -6,7 +6,8 @@ use nassc::{
     TranspileOptions,
 };
 use nassc_bench::{
-    geometric_mean_reduction, relative_reduction, BenchReport, HarnessArgs, ReportRow,
+    ensure_suite_fits, geometric_mean_reduction, relative_reduction, BenchReport, HarnessArgs,
+    ReportRow,
 };
 use nassc_parallel::parallel_map;
 use nassc_topology::CouplingMap;
@@ -25,6 +26,11 @@ fn main() {
         ("linear-25", CouplingMap::linear(25)),
         ("grid-5x5", CouplingMap::grid(5, 5)),
     ];
+    // A `--qasm-dir` corpus can be wider than the narrowest map; fail the
+    // whole run up front instead of panicking mid-batch.
+    for (_, device) in &maps {
+        ensure_suite_fits(&suite, device);
+    }
     let mut report = BenchReport::new(
         "fig9_opt_combinations",
         "Figure 9 — best-of-8 flag combinations vs all-enabled",

@@ -330,11 +330,14 @@ pub struct HarnessArgs {
     pub layout_trials: usize,
     /// When set, also write the run's [`BenchReport`] to this path.
     pub json: Option<PathBuf>,
+    /// When set, replace the built-in suite with every `.qasm` file of this
+    /// directory (external-workload corpus mode).
+    pub qasm_dir: Option<PathBuf>,
 }
 
 impl HarnessArgs {
-    /// Parses `--full`, `--runs N`, `--layout-trials N` and `--json <path>`
-    /// from the process arguments.
+    /// Parses `--full`, `--runs N`, `--layout-trials N`, `--json <path>` and
+    /// `--qasm-dir <dir>` from the process arguments.
     pub fn from_env() -> Self {
         let full = std::env::args().any(|a| a == "--full");
         let runs = cli_usize("--runs").unwrap_or(2);
@@ -350,16 +353,26 @@ impl HarnessArgs {
             std::process::exit(1);
         }
         let json = cli_value("--json").map(PathBuf::from);
+        let qasm_dir = cli_value("--qasm-dir").map(PathBuf::from);
         Self {
             full,
             runs,
             layout_trials,
             json,
+            qasm_dir,
         }
     }
 
-    /// The benchmark suite selected by the arguments.
+    /// The benchmark suite selected by the arguments: a `--qasm-dir` corpus
+    /// when given (any unreadable or unparsable file aborts — a table run
+    /// must cover the whole corpus), else the built-in quick/full suite.
     pub fn suite(&self) -> Vec<Benchmark> {
+        if let Some(dir) = &self.qasm_dir {
+            return qasm_corpus_suite(dir).unwrap_or_else(|message| {
+                eprintln!("error: {message}");
+                std::process::exit(1);
+            });
+        }
         if self.full {
             nassc_benchmarks::table_benchmarks()
         } else {
@@ -368,11 +381,13 @@ impl HarnessArgs {
     }
 
     /// The suite name recorded in reports.
-    pub fn suite_label(&self) -> &'static str {
-        if self.full {
-            "full"
+    pub fn suite_label(&self) -> String {
+        if let Some(dir) = &self.qasm_dir {
+            format!("qasm:{}", dir.display())
+        } else if self.full {
+            "full".to_string()
         } else {
-            "quick"
+            "quick".to_string()
         }
     }
 
@@ -387,6 +402,47 @@ impl HarnessArgs {
             std::process::exit(1);
         }
         eprintln!("wrote {}", path.display());
+    }
+}
+
+/// Loads every `.qasm` file of `dir` as a [`Benchmark`] suite (sorted by
+/// filename, so job order — and therefore batch output order — is
+/// deterministic).
+///
+/// # Errors
+///
+/// Returns a message naming the first unreadable or unparsable file; callers
+/// that tolerate partial corpora (the `transpile_qasm` corpus mode) use
+/// [`nassc_qasm::load_corpus`] directly instead.
+pub fn qasm_corpus_suite(dir: &std::path::Path) -> Result<Vec<Benchmark>, String> {
+    let corpus =
+        nassc_qasm::load_corpus(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    if corpus.is_empty() {
+        return Err(format!("no .qasm files in {}", dir.display()));
+    }
+    corpus
+        .into_iter()
+        .map(|file| match file.circuit {
+            Ok(circuit) => Ok(Benchmark::new(file.name, circuit)),
+            Err(e) => Err(format!("{}: {e}", file.path.display())),
+        })
+        .collect()
+}
+
+/// Exits with a clean error when any benchmark is wider than the device —
+/// otherwise the batch engine would panic mid-run deep inside routing.
+/// Relevant for `--qasm-dir` corpora, whose widths are user-controlled.
+pub fn ensure_suite_fits(suite: &[Benchmark], device: &CouplingMap) {
+    for bench in suite {
+        if bench.qubits > device.num_qubits() {
+            eprintln!(
+                "error: benchmark {} needs {} qubits but the target device has {}",
+                bench.name,
+                bench.qubits,
+                device.num_qubits()
+            );
+            std::process::exit(1);
+        }
     }
 }
 
@@ -589,6 +645,7 @@ pub fn depth_report(
 pub fn run_table_binary(artefact: &str, title: &str, device: &CouplingMap, kind: TableKind) {
     let args = HarnessArgs::from_env();
     let suite = args.suite();
+    ensure_suite_fits(&suite, device);
     eprintln!(
         "transpiling {} benchmarks × {} seeds × 2 routers = {} jobs \
          ({} layout trials each) on {} threads...",
@@ -599,14 +656,15 @@ pub fn run_table_binary(artefact: &str, title: &str, device: &CouplingMap, kind:
         default_parallelism()
     );
     let rows = compare_suite_with_trials(&suite, device, args.runs, args.layout_trials);
+    let suite_label = args.suite_label();
     let mut report = match kind {
         TableKind::Cnot => {
             print_cnot_table(title, &rows);
-            cnot_report(artefact, title, args.suite_label(), args.runs, &rows)
+            cnot_report(artefact, title, &suite_label, args.runs, &rows)
         }
         TableKind::Depth => {
             print_depth_table(title, &rows);
-            depth_report(artefact, title, args.suite_label(), args.runs, &rows)
+            depth_report(artefact, title, &suite_label, args.runs, &rows)
         }
     };
     report.layout_trials = args.layout_trials;

@@ -7,8 +7,9 @@ use crate::circuits;
 /// A named benchmark circuit.
 #[derive(Debug, Clone)]
 pub struct Benchmark {
-    /// The name as it appears in the paper's tables.
-    pub name: &'static str,
+    /// The name as it appears in the paper's tables (or, for external
+    /// OpenQASM workloads, the source file stem).
+    pub name: String,
     /// Number of qubits.
     pub qubits: usize,
     /// The generated logical circuit.
@@ -16,9 +17,14 @@ pub struct Benchmark {
 }
 
 impl Benchmark {
-    fn new(name: &'static str, circuit: QuantumCircuit) -> Self {
+    /// Wraps a circuit as a named benchmark (the qubit count is derived).
+    ///
+    /// Public so external-workload drivers (the `--qasm-dir` corpus mode of
+    /// the bench harness) can feed parsed circuits through the same
+    /// comparison machinery as the built-in suites.
+    pub fn new(name: impl Into<String>, circuit: QuantumCircuit) -> Self {
         Self {
-            name,
+            name: name.into(),
             qubits: circuit.num_qubits(),
             circuit,
         }

@@ -229,15 +229,98 @@ impl QuantumCircuit {
             .collect()
     }
 
-    /// A plain-text, OpenQASM-flavoured dump of the circuit, useful for
-    /// debugging and golden tests.
+    /// Serializes the circuit as a strictly valid OpenQASM 2.0 program.
+    ///
+    /// The output carries the standard header, one `qreg q[n]` covering every
+    /// qubit, a matching `creg c[n]` when the circuit measures, and canonical
+    /// lower-case gate spellings (`u`, `p`, `sx`, …) resolvable against
+    /// `qelib1.inc`. Parameters print via Rust's shortest-round-trip `f64`
+    /// formatting, so re-parsing reproduces every angle bit-for-bit — the
+    /// `nassc-qasm` round-trip guarantee builds on exactly that.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QasmExportError`] when an instruction has no OpenQASM 2.0
+    /// spelling: the synthesis intermediates `unitary1`/`unitary2` (raw
+    /// matrices) and gates carrying non-finite parameters.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use nassc_circuit::QuantumCircuit;
+    ///
+    /// let mut bell = QuantumCircuit::new(2);
+    /// bell.h(0).cx(0, 1).measure(0).measure(1);
+    /// let qasm = bell.to_qasm().unwrap();
+    /// assert!(qasm.starts_with("OPENQASM 2.0;"));
+    /// assert!(qasm.contains("cx q[0],q[1];"));
+    /// assert!(qasm.contains("measure q[0] -> c[0];"));
+    /// ```
+    pub fn to_qasm(&self) -> Result<String, QasmExportError> {
+        self.write_qasm(false)
+    }
+
+    /// [`Self::to_qasm`] that never fails: instructions without an OpenQASM
+    /// spelling are emitted as `// <name> [qubits]` comment lines instead of
+    /// aborting the dump. Useful for debugging intermediate circuits that
+    /// still hold `unitary1`/`unitary2` blocks.
+    pub fn to_qasm_lossy(&self) -> String {
+        self.write_qasm(true)
+            .expect("lossy serialization cannot fail")
+    }
+
+    /// The historical name of the text dump.
+    #[deprecated(note = "use `to_qasm` (strict) or `to_qasm_lossy` (total) instead")]
     pub fn to_text(&self) -> String {
+        self.to_qasm_lossy()
+    }
+
+    /// Shared body of [`Self::to_qasm`] and [`Self::to_qasm_lossy`].
+    fn write_qasm(&self, lossy: bool) -> Result<String, QasmExportError> {
         let mut out = String::new();
-        out.push_str(&format!("qubits {}\n", self.num_qubits));
-        for inst in &self.instructions {
-            out.push_str(&format!("{inst}\n"));
+        out.push_str("OPENQASM 2.0;\n");
+        out.push_str("include \"qelib1.inc\";\n");
+        if self.num_qubits > 0 {
+            out.push_str(&format!("qreg q[{}];\n", self.num_qubits));
         }
-        out
+        if self.instructions.iter().any(|i| i.gate == Gate::Measure) {
+            out.push_str(&format!("creg c[{}];\n", self.num_qubits));
+        }
+        for (index, inst) in self.instructions.iter().enumerate() {
+            match &inst.gate {
+                Gate::Measure => {
+                    let q = inst.qubits[0];
+                    out.push_str(&format!("measure q[{q}] -> c[{q}];\n"));
+                }
+                Gate::Barrier(_) => {
+                    out.push_str(&format!("barrier {};\n", qasm_qubit_list(&inst.qubits)));
+                }
+                Gate::Unitary1(_) | Gate::Unitary2(_) => {
+                    if lossy {
+                        out.push_str(&format!("// {} {:?}\n", inst.gate.name(), inst.qubits));
+                    } else {
+                        return Err(QasmExportError::new(index, inst.gate.name()));
+                    }
+                }
+                gate => {
+                    let params = gate.params();
+                    if params.iter().any(|p| !p.is_finite()) {
+                        if lossy {
+                            out.push_str(&format!("// {} {:?}\n", gate.name(), inst.qubits));
+                            continue;
+                        }
+                        return Err(QasmExportError::new(index, gate.name()));
+                    }
+                    out.push_str(gate.name());
+                    if !params.is_empty() {
+                        let rendered: Vec<String> = params.iter().map(|p| format!("{p}")).collect();
+                        out.push_str(&format!("({})", rendered.join(",")));
+                    }
+                    out.push_str(&format!(" {};\n", qasm_qubit_list(&inst.qubits)));
+                }
+            }
+        }
+        Ok(out)
     }
 
     // ----- builder helpers -------------------------------------------------
@@ -332,6 +415,44 @@ impl QuantumCircuit {
         self.append(Gate::Barrier(n), (0..n).collect())
     }
 }
+
+/// Renders a qubit index list as OpenQASM arguments: `q[0],q[3]`.
+fn qasm_qubit_list(qubits: &[usize]) -> String {
+    let rendered: Vec<String> = qubits.iter().map(|q| format!("q[{q}]")).collect();
+    rendered.join(",")
+}
+
+/// Error from [`QuantumCircuit::to_qasm`]: an instruction with no OpenQASM
+/// 2.0 representation (a raw-matrix `unitary1`/`unitary2`, or a gate with a
+/// non-finite parameter).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QasmExportError {
+    /// Index of the offending instruction.
+    pub instruction: usize,
+    /// Name of the offending gate.
+    pub gate: String,
+}
+
+impl QasmExportError {
+    fn new(instruction: usize, gate: impl Into<String>) -> Self {
+        Self {
+            instruction,
+            gate: gate.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for QasmExportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "instruction {} ({}) has no OpenQASM 2.0 representation",
+            self.instruction, self.gate
+        )
+    }
+}
+
+impl std::error::Error for QasmExportError {}
 
 impl FromIterator<Instruction> for QuantumCircuit {
     /// Builds a circuit wide enough to hold every referenced qubit.
@@ -468,12 +589,65 @@ mod tests {
     }
 
     #[test]
-    fn text_dump_contains_gates() {
+    fn qasm_dump_is_a_valid_program() {
+        let mut qc = QuantumCircuit::new(3);
+        qc.h(0)
+            .cx(0, 1)
+            .rz(0.5, 1)
+            .barrier_all()
+            .measure(0)
+            .measure(1);
+        let qasm = qc.to_qasm().unwrap();
+        assert!(qasm.starts_with("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n"));
+        assert!(qasm.contains("qreg q[3];"));
+        assert!(qasm.contains("creg c[3];"));
+        assert!(qasm.contains("h q[0];"));
+        assert!(qasm.contains("cx q[0],q[1];"));
+        assert!(qasm.contains("rz(0.5) q[1];"));
+        assert!(qasm.contains("barrier q[0],q[1],q[2];"));
+        assert!(qasm.contains("measure q[1] -> c[1];"));
+        // The deprecated alias still produces the same dump.
+        #[allow(deprecated)]
+        let text = qc.to_text();
+        assert_eq!(text, qasm);
+    }
+
+    #[test]
+    fn measureless_circuits_omit_the_creg() {
         let mut qc = QuantumCircuit::new(2);
         qc.h(0).cx(0, 1);
-        let text = qc.to_text();
-        assert!(text.contains("qubits 2"));
-        assert!(text.contains("h [0]"));
-        assert!(text.contains("cx [0, 1]"));
+        let qasm = qc.to_qasm().unwrap();
+        assert!(!qasm.contains("creg"));
+        assert!(!qasm.contains("measure"));
+    }
+
+    #[test]
+    fn unitary_payload_gates_fail_strict_export_but_not_lossy() {
+        use nassc_math::Matrix2;
+        let mut qc = QuantumCircuit::new(1);
+        qc.h(0);
+        qc.append(Gate::Unitary1(Matrix2::identity()), vec![0]);
+        let err = qc.to_qasm().unwrap_err();
+        assert_eq!(err.instruction, 1);
+        assert_eq!(err.gate, "unitary1");
+        assert!(err.to_string().contains("no OpenQASM 2.0 representation"));
+        let lossy = qc.to_qasm_lossy();
+        assert!(lossy.contains("h q[0];"));
+        assert!(lossy.contains("// unitary1 [0]"));
+    }
+
+    #[test]
+    fn non_finite_parameters_fail_strict_export() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.rz(f64::NAN, 0);
+        assert!(qc.to_qasm().is_err());
+        assert!(qc.to_qasm_lossy().contains("// rz [0]"));
+    }
+
+    #[test]
+    fn empty_circuit_exports_header_only() {
+        let qasm = QuantumCircuit::new(0).to_qasm().unwrap();
+        assert!(!qasm.contains("qreg"));
+        assert!(qasm.starts_with("OPENQASM 2.0;"));
     }
 }

@@ -30,7 +30,7 @@ pub mod gate;
 pub mod instruction;
 pub mod unitary;
 
-pub use circuit::QuantumCircuit;
+pub use circuit::{QasmExportError, QuantumCircuit};
 pub use dag::{DagCircuit, DagNode};
 pub use gate::Gate;
 pub use instruction::Instruction;

@@ -10,6 +10,12 @@
 //! configuration, the [`OptimizationFlags`] controlling the Eq. 1–2 cost
 //! terms, and the no-routing baseline [`optimize_without_routing`].
 //!
+//! External OpenQASM 2.0 workloads enter and leave through the [`qasm`]
+//! namespace: `nassc::qasm::parse` lowers a `.qasm` source into a
+//! [`circuit::QuantumCircuit`], and `nassc::qasm::export` serializes any
+//! transpiled circuit back out (round-trip exact, float parameters
+//! included).
+//!
 //! # Example
 //!
 //! ```
@@ -47,6 +53,7 @@ pub use nassc_core as core;
 pub use nassc_math as math;
 pub use nassc_parallel as parallel;
 pub use nassc_passes as passes;
+pub use nassc_qasm as qasm;
 pub use nassc_sabre as sabre;
 pub use nassc_sim as sim;
 pub use nassc_synthesis as synthesis;

@@ -1,0 +1,57 @@
+//! The error type shared by the lexer, the parser and the exporter.
+
+use std::fmt;
+
+/// An error produced while lexing, parsing or exporting OpenQASM 2.0.
+///
+/// Carries the 1-based source line the problem was detected on (0 for
+/// errors without a source position, e.g. export failures) and a
+/// human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QasmError {
+    /// 1-based line number, or 0 when no source position applies.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl QasmError {
+    /// An error anchored to a source line.
+    pub fn at(line: usize, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// An error without a source position (export-side failures).
+    pub fn new(message: impl Into<String>) -> Self {
+        Self::at(0, message)
+    }
+}
+
+impl fmt::Display for QasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "QASM error: {}", self.message)
+        } else {
+            write!(f, "QASM error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for QasmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_when_present() {
+        assert_eq!(
+            QasmError::at(3, "boom").to_string(),
+            "QASM error at line 3: boom"
+        );
+        assert_eq!(QasmError::new("boom").to_string(), "QASM error: boom");
+    }
+}

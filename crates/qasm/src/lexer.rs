@@ -1,0 +1,253 @@
+//! Tokenizer for OpenQASM 2.0 source text.
+//!
+//! Number literals keep their exact lexeme so the parser can defer to
+//! `f64::from_str` (correctly rounded) — that is what makes the
+//! export → parse round trip bit-exact for gate parameters.
+
+use crate::error::QasmError;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum TokenKind {
+    /// Identifier or keyword (`qreg`, `gate`, `h`, …).
+    Id(String),
+    /// Integer or real literal, kept as its exact source lexeme.
+    Number(String),
+    /// A double-quoted string (include filenames).
+    Str(String),
+    /// Single-character punctuation: `; , ( ) { } [ ] + - * / ^ = < > !`.
+    Symbol(char),
+    /// The measurement arrow `->`.
+    Arrow,
+}
+
+impl TokenKind {
+    /// A short human-readable rendering for error messages.
+    pub(crate) fn describe(&self) -> String {
+        match self {
+            TokenKind::Id(name) => format!("identifier \"{name}\""),
+            TokenKind::Number(text) => format!("number {text}"),
+            TokenKind::Str(text) => format!("string \"{text}\""),
+            TokenKind::Symbol(c) => format!("'{c}'"),
+            TokenKind::Arrow => "'->'".to_string(),
+        }
+    }
+}
+
+/// A token plus the 1-based line it started on.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+}
+
+/// Tokenizes a whole source file.
+///
+/// Skips whitespace and `//` line comments; rejects characters outside the
+/// OpenQASM 2.0 alphabet with a positioned [`QasmError`].
+pub(crate) fn lex(source: &str) -> Result<Vec<Token>, QasmError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '-' if chars.get(i + 1) == Some(&'>') => {
+                tokens.push(Token {
+                    kind: TokenKind::Arrow,
+                    line,
+                });
+                i += 2;
+            }
+            ';' | ',' | '(' | ')' | '{' | '}' | '[' | ']' | '+' | '-' | '*' | '/' | '^' | '='
+            | '<' | '>' | '!' => {
+                tokens.push(Token {
+                    kind: TokenKind::Symbol(c),
+                    line,
+                });
+                i += 1;
+            }
+            '"' => {
+                let start_line = line;
+                let mut text = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        None => return Err(QasmError::at(start_line, "unterminated string")),
+                        Some('"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some('\n') => return Err(QasmError::at(start_line, "unterminated string")),
+                        Some(&c) => {
+                            text.push(c);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(text),
+                    line: start_line,
+                });
+            }
+            c if c.is_ascii_digit() || (c == '.' && next_is_digit(&chars, i + 1)) => {
+                let mut text = String::new();
+                while let Some(&c) = chars.get(i) {
+                    if c.is_ascii_digit() || c == '.' {
+                        text.push(c);
+                        i += 1;
+                    } else if (c == 'e' || c == 'E') && exponent_follows(&chars, i + 1) {
+                        text.push(c);
+                        i += 1;
+                        if matches!(chars.get(i), Some('+') | Some('-')) {
+                            text.push(chars[i]);
+                            i += 1;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Number(text),
+                    line,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut text = String::new();
+                while let Some(&c) = chars.get(i) {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        text.push(c);
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Id(text),
+                    line,
+                });
+            }
+            other => {
+                return Err(QasmError::at(
+                    line,
+                    format!("unexpected character '{other}'"),
+                ));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// Whether `chars[i]` exists and is a digit.
+fn next_is_digit(chars: &[char], i: usize) -> bool {
+    chars.get(i).is_some_and(|c| c.is_ascii_digit())
+}
+
+/// Whether an exponent body (`7`, `+7`, `-7`) starts at `chars[i]`.
+fn exponent_follows(chars: &[char], i: usize) -> bool {
+    match chars.get(i) {
+        Some('+') | Some('-') => next_is_digit(chars, i + 1),
+        Some(c) => c.is_ascii_digit(),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<TokenKind> {
+        lex(source).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_statement_tokenizes() {
+        assert_eq!(
+            kinds("qreg q[3];"),
+            vec![
+                TokenKind::Id("qreg".into()),
+                TokenKind::Id("q".into()),
+                TokenKind::Symbol('['),
+                TokenKind::Number("3".into()),
+                TokenKind::Symbol(']'),
+                TokenKind::Symbol(';'),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_keep_exact_lexemes() {
+        assert_eq!(
+            kinds("2.0 1e-7 .5 3.25E+2 0.0000000000000000125"),
+            vec![
+                TokenKind::Number("2.0".into()),
+                TokenKind::Number("1e-7".into()),
+                TokenKind::Number(".5".into()),
+                TokenKind::Number("3.25E+2".into()),
+                TokenKind::Number("0.0000000000000000125".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn minus_before_digit_stays_a_symbol() {
+        // `-0.5` must lex as unary minus + literal, so expression parsing
+        // (not the lexer) owns negation.
+        assert_eq!(
+            kinds("-0.5"),
+            vec![TokenKind::Symbol('-'), TokenKind::Number("0.5".into())]
+        );
+    }
+
+    #[test]
+    fn arrow_and_comments_and_strings() {
+        assert_eq!(
+            kinds("measure q -> c; // the readout\ninclude \"qelib1.inc\";"),
+            vec![
+                TokenKind::Id("measure".into()),
+                TokenKind::Id("q".into()),
+                TokenKind::Arrow,
+                TokenKind::Id("c".into()),
+                TokenKind::Symbol(';'),
+                TokenKind::Id("include".into()),
+                TokenKind::Str("qelib1.inc".into()),
+                TokenKind::Symbol(';'),
+            ]
+        );
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let tokens = lex("x q[0];\n\ny q[1];").unwrap();
+        assert_eq!(tokens.first().unwrap().line, 1);
+        assert_eq!(tokens.last().unwrap().line, 3);
+    }
+
+    #[test]
+    fn bad_characters_are_positioned() {
+        let err = lex("x q[0];\n#").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("unexpected character"));
+        assert!(lex("\"open").unwrap_err().message.contains("unterminated"));
+    }
+
+    #[test]
+    fn identifier_e_is_not_an_exponent() {
+        // `2e` (no digits after) lexes as number `2` then identifier `e`.
+        assert_eq!(
+            kinds("2e"),
+            vec![TokenKind::Number("2".into()), TokenKind::Id("e".into())]
+        );
+    }
+}

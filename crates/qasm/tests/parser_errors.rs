@@ -1,0 +1,196 @@
+//! Parser error paths: every rejection carries a positioned, descriptive
+//! [`QasmError`] instead of a panic or a silently wrong circuit.
+
+use nassc_qasm::parse;
+
+/// Asserts that `source` fails to parse and the error mentions `fragment`
+/// (and, when nonzero, points at `line`).
+fn assert_error(source: &str, fragment: &str, line: usize) {
+    match parse(source) {
+        Ok(circuit) => panic!(
+            "expected an error mentioning {fragment:?}, parsed {} gates\nsource:\n{source}",
+            circuit.num_gates()
+        ),
+        Err(e) => {
+            assert!(
+                e.to_string().contains(fragment),
+                "error {e:?} does not mention {fragment:?}\nsource:\n{source}"
+            );
+            if line > 0 {
+                assert_eq!(e.line, line, "wrong line for {fragment:?}: {e}");
+            }
+        }
+    }
+}
+
+#[test]
+fn unterminated_gate_body() {
+    assert_error(
+        "OPENQASM 2.0;\nqreg q[2];\ngate foo a,b { cx a,b;\n",
+        "unterminated gate body",
+        3,
+    );
+}
+
+#[test]
+fn unknown_gate() {
+    assert_error(
+        "OPENQASM 2.0;\nqreg q[1];\nfrobnicate q[0];\n",
+        "unknown gate \"frobnicate\"",
+        3,
+    );
+}
+
+#[test]
+fn register_overflow() {
+    assert_error("OPENQASM 2.0;\nqreg q[2];\nx q[5];\n", "out of range", 3);
+    assert_error(
+        "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nmeasure q[0] -> c[7];\n",
+        "out of range",
+        4,
+    );
+}
+
+#[test]
+fn undeclared_registers() {
+    assert_error("OPENQASM 2.0;\nx q[0];\n", "unknown quantum register", 2);
+    assert_error(
+        "OPENQASM 2.0;\nqreg q[1];\nmeasure q[0] -> c[0];\n",
+        "unknown classical register",
+        3,
+    );
+}
+
+#[test]
+fn missing_or_wrong_header() {
+    assert_error("qreg q[2];\n", "OPENQASM 2.0", 1);
+    assert_error(
+        "OPENQASM 3.0;\nqreg q[2];\n",
+        "unsupported OPENQASM version",
+        1,
+    );
+    assert_error("", "empty OpenQASM source", 0);
+}
+
+#[test]
+fn unsupported_constructs_are_named() {
+    assert_error(
+        "OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\nif (c == 1) x q[0];\n",
+        "classical control",
+        4,
+    );
+    assert_error("OPENQASM 2.0;\nqreg q[1];\nreset q[0];\n", "`reset`", 3);
+    assert_error("OPENQASM 2.0;\nopaque magic a,b;\n", "`opaque`", 2);
+    assert_error(
+        "OPENQASM 2.0;\ninclude \"mylib.inc\";\n",
+        "unsupported include",
+        2,
+    );
+}
+
+#[test]
+fn arity_mismatches() {
+    assert_error(
+        "OPENQASM 2.0;\nqreg q[2];\nrx q[0];\n",
+        "takes 1 parameter(s), got 0",
+        3,
+    );
+    assert_error(
+        "OPENQASM 2.0;\nqreg q[2];\nh q[0],q[1];\n",
+        "acts on 1 qubit(s), got 2",
+        3,
+    );
+    assert_error(
+        "OPENQASM 2.0;\nqreg q[3];\ngate foo a,b { cx a,b; }\nfoo q[0];\n",
+        "acts on 2 qubit(s), got 1",
+        4,
+    );
+}
+
+#[test]
+fn duplicate_qubits_are_rejected_not_panicked() {
+    assert_error(
+        "OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[0];\n",
+        "duplicate qubit",
+        3,
+    );
+    // ...including duplicates that only appear after gate-body inlining.
+    assert_error(
+        "OPENQASM 2.0;\nqreg q[2];\ngate foo a,b { cx a,b; }\nfoo q[1],q[1];\n",
+        "duplicate qubit",
+        0,
+    );
+}
+
+#[test]
+fn broadcast_size_mismatch() {
+    assert_error(
+        "OPENQASM 2.0;\nqreg a[2];\nqreg b[3];\ncx a,b;\n",
+        "mismatched register sizes",
+        4,
+    );
+    assert_error(
+        "OPENQASM 2.0;\nqreg q[3];\ncreg c[2];\nmeasure q -> c;\n",
+        "width mismatch",
+        4,
+    );
+}
+
+#[test]
+fn self_referential_gate_definitions_cannot_recurse() {
+    // Identifiers resolve at definition time, and a gate is not in scope
+    // inside its own body — so a self-call is an unknown gate, not an
+    // infinite expansion.
+    assert_error(
+        "OPENQASM 2.0;\nqreg q[1];\ngate loop a { loop a; }\nloop q[0];\n",
+        "unknown gate \"loop\"",
+        0,
+    );
+}
+
+#[test]
+fn malformed_declarations() {
+    assert_error("OPENQASM 2.0;\nqreg q[0];\n", "size 0", 2);
+    assert_error(
+        "OPENQASM 2.0;\nqreg q[2];\nqreg q[3];\n",
+        "already declared",
+        3,
+    );
+    assert_error(
+        "OPENQASM 2.0;\nqreg q[1];\nqreg q[1];\n",
+        "already declared",
+        3,
+    );
+    assert_error("OPENQASM 2.0;\nqreg q[1.5];\n", "non-negative integer", 2);
+}
+
+#[test]
+fn expression_errors() {
+    assert_error(
+        "OPENQASM 2.0;\nqreg q[1];\nrz(theta) q[0];\n",
+        "unknown parameter",
+        3,
+    );
+    assert_error(
+        "OPENQASM 2.0;\nqreg q[1];\nrz(frob(2)) q[0];\n",
+        "unknown function",
+        3,
+    );
+    // An explicit empty list is an arity error, not a syntax error.
+    assert_error(
+        "OPENQASM 2.0;\nqreg q[1];\nrz() q[0];\n",
+        "takes 1 parameter(s), got 0",
+        3,
+    );
+    assert_error(
+        "OPENQASM 2.0;\nqreg q[1];\nrz(1+) q[0];\n",
+        "expected an expression",
+        3,
+    );
+}
+
+#[test]
+fn truncated_statements_point_at_the_end() {
+    assert_error("OPENQASM 2.0;\nqreg q[2];\ncx q[0],", "end of input", 0);
+    assert_error("OPENQASM 2.0;\nqreg q[2", "expected ']'", 0);
+}

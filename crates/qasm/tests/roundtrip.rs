@@ -1,0 +1,145 @@
+//! The round-trip guarantee: `parse(export(c)) == c` structurally —
+//! instruction for instruction, float parameters bit-for-bit — for every
+//! circuit built from named gates (everything the transpiler can produce).
+
+use nassc_circuit::{Gate, Instruction, QuantumCircuit};
+use nassc_qasm::{export, parse};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Draws one random named-gate instruction on a `width`-qubit circuit.
+///
+/// Covers every gate family the exporter can spell: the full 1q/2q/3q named
+/// set, measure and barrier. Parameters are raw `f64`s over several orders
+/// of magnitude (including negatives and subnormal-ish tiny values), so the
+/// test pins exact shortest-round-trip formatting rather than pretty angles.
+fn random_instruction(rng: &mut StdRng, width: usize) -> Instruction {
+    let angle = |rng: &mut StdRng| -> f64 {
+        let magnitude = 10f64.powi(rng.gen_range(-18..4));
+        rng.gen_range(-1.0f64..1.0) * magnitude
+    };
+    let qubits = |rng: &mut StdRng, n: usize| -> Vec<usize> {
+        let mut picked: Vec<usize> = Vec::with_capacity(n);
+        while picked.len() < n {
+            let q = rng.gen_range(0..width);
+            if !picked.contains(&q) {
+                picked.push(q);
+            }
+        }
+        picked
+    };
+    // Cap the choice pool by width so a narrow circuit never draws a gate
+    // with more qubits than it has: 0–17 work at any width, the 2q gates
+    // start at 18, the 3q gates at 29.
+    let pool = match width {
+        1 => 18,
+        2 => 29,
+        _ => 31,
+    };
+    let choice = rng.gen_range(0..pool);
+    let (gate, arity) = match choice {
+        0 => (Gate::Measure, 1),
+        1 => {
+            let n = rng.gen_range(1..=width.min(4));
+            let qs = qubits(rng, n);
+            return Instruction::new(Gate::Barrier(qs.len()), qs);
+        }
+        2 => (Gate::I, 1),
+        3 => (Gate::X, 1),
+        4 => (Gate::Y, 1),
+        5 => (Gate::Z, 1),
+        6 => (Gate::H, 1),
+        7 => (Gate::S, 1),
+        8 => (Gate::Sdg, 1),
+        9 => (Gate::T, 1),
+        10 => (Gate::Tdg, 1),
+        11 => (Gate::Sx, 1),
+        12 => (Gate::Sxdg, 1),
+        13 => (Gate::Rx(angle(rng)), 1),
+        14 => (Gate::Ry(angle(rng)), 1),
+        15 => (Gate::Rz(angle(rng)), 1),
+        16 => (Gate::Phase(angle(rng)), 1),
+        17 => (Gate::U(angle(rng), angle(rng), angle(rng)), 1),
+        18 => (Gate::Cx, 2),
+        19 => (Gate::Cy, 2),
+        20 => (Gate::Cz, 2),
+        21 => (Gate::Ch, 2),
+        22 => (Gate::Swap, 2),
+        23 => (Gate::Crx(angle(rng)), 2),
+        24 => (Gate::Cry(angle(rng)), 2),
+        25 => (Gate::Crz(angle(rng)), 2),
+        26 => (Gate::Cp(angle(rng)), 2),
+        27 => (Gate::Rxx(angle(rng)), 2),
+        28 => (Gate::Rzz(angle(rng)), 2),
+        29 => (Gate::Ccx, 3),
+        _ => (Gate::Cswap, 3),
+    };
+    let qs = qubits(rng, arity);
+    Instruction::new(gate, qs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn export_parse_is_structural_identity(
+        seed in 0u64..u64::MAX,
+        width in 1usize..9,
+        gates in 1usize..60,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut circuit = QuantumCircuit::new(width);
+        for _ in 0..gates {
+            let instruction = random_instruction(&mut rng, width);
+            circuit.push(instruction);
+        }
+        let qasm = export(&circuit).unwrap();
+        let reparsed = parse(&qasm).unwrap_or_else(|e| {
+            panic!("re-parse failed: {e}\nprogram:\n{qasm}")
+        });
+        prop_assert_eq!(&reparsed, &circuit);
+        // And a second hop stays fixed: export is idempotent on its own output.
+        prop_assert_eq!(export(&reparsed).unwrap(), qasm);
+    }
+}
+
+#[test]
+fn empty_and_gateless_circuits_round_trip() {
+    for width in [0usize, 1, 5] {
+        let circuit = QuantumCircuit::new(width);
+        let qasm = export(&circuit).unwrap();
+        assert_eq!(parse(&qasm).unwrap(), circuit, "width {width}");
+    }
+}
+
+#[test]
+fn extreme_float_parameters_round_trip_exactly() {
+    let angles = [
+        f64::MIN_POSITIVE,
+        -f64::MIN_POSITIVE,
+        f64::EPSILON,
+        1.0 + f64::EPSILON,
+        std::f64::consts::PI,
+        -std::f64::consts::PI,
+        1e308,
+        -1e-308,
+        0.1 + 0.2, // the classic non-representable sum
+        0.0,
+        -0.0,
+    ];
+    let mut circuit = QuantumCircuit::new(1);
+    for angle in angles {
+        circuit.rz(angle, 0);
+    }
+    let reparsed = parse(&export(&circuit).unwrap()).unwrap();
+    for (original, reparsed) in circuit.iter().zip(reparsed.iter()) {
+        let (a, b) = (original.gate.params()[0], reparsed.gate.params()[0]);
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "angle {a:?} did not survive the round trip (got {b:?})"
+        );
+    }
+}
