@@ -1,11 +1,27 @@
 //! Criterion benches: transpilation time of Qiskit+SABRE vs Qiskit+NASSC
 //! (the `transpile time` columns of Tables I/III/IV) on representative
-//! benchmarks and topologies.
+//! benchmarks and topologies, plus the warm-session replay the
+//! [`Transpiler`] caches buy.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use nassc::{transpile, TranspileOptions};
+use nassc::{RouterKind, TranspileOptions, Transpiler};
 use nassc_benchmarks::circuits;
 use nassc_topology::CouplingMap;
+
+/// One cold transpile: a fresh session per iteration, so every cache misses
+/// — the same work the pre-session free function did per call.
+fn cold_transpile(
+    circuit: &nassc::circuit::QuantumCircuit,
+    device: &CouplingMap,
+    router: RouterKind,
+) -> nassc::TranspileResult {
+    Transpiler::new(
+        device.clone(),
+        TranspileOptions::new().router(router).seed(1),
+    )
+    .transpile(circuit)
+    .unwrap()
+}
 
 fn routing_benchmarks(c: &mut Criterion) {
     let montreal = CouplingMap::ibmq_montreal();
@@ -21,10 +37,10 @@ fn routing_benchmarks(c: &mut Criterion) {
     group.sample_size(10);
     for (name, circuit) in &cases {
         group.bench_with_input(BenchmarkId::new("sabre", name), circuit, |b, qc| {
-            b.iter(|| transpile(qc, &montreal, &TranspileOptions::sabre(1)).unwrap())
+            b.iter(|| cold_transpile(qc, &montreal, RouterKind::Sabre))
         });
         group.bench_with_input(BenchmarkId::new("nassc", name), circuit, |b, qc| {
-            b.iter(|| transpile(qc, &montreal, &TranspileOptions::nassc(1)).unwrap())
+            b.iter(|| cold_transpile(qc, &montreal, RouterKind::Nassc))
         });
     }
     group.finish();
@@ -33,10 +49,23 @@ fn routing_benchmarks(c: &mut Criterion) {
     group.sample_size(10);
     for (name, circuit) in cases.iter().take(2) {
         group.bench_with_input(BenchmarkId::new("sabre", name), circuit, |b, qc| {
-            b.iter(|| transpile(qc, &line, &TranspileOptions::sabre(1)).unwrap())
+            b.iter(|| cold_transpile(qc, &line, RouterKind::Sabre))
         });
         group.bench_with_input(BenchmarkId::new("nassc", name), circuit, |b, qc| {
-            b.iter(|| transpile(qc, &line, &TranspileOptions::nassc(1)).unwrap())
+            b.iter(|| cold_transpile(qc, &line, RouterKind::Nassc))
+        });
+    }
+    group.finish();
+
+    // The session-reuse path: every iteration is served from warmed caches,
+    // replaying a single routing pass instead of the full layout search.
+    let mut group = c.benchmark_group("transpile_montreal_warm");
+    group.sample_size(10);
+    for (name, circuit) in cases.iter().take(2) {
+        let session = Transpiler::new(montreal.clone(), TranspileOptions::new().seed(1));
+        session.transpile(circuit).unwrap(); // warm the caches once
+        group.bench_with_input(BenchmarkId::new("nassc", name), circuit, |b, qc| {
+            b.iter(|| session.transpile(qc).unwrap())
         });
     }
     group.finish();

@@ -5,7 +5,7 @@
 //! warned about); `--runs N` averages each variant over `N` routing seeds,
 //! `--shots N` controls the per-circuit noisy simulation.
 
-use nassc::{optimize_without_routing, transpile_batch_prepared, BatchJob, TranspileOptions};
+use nassc::{SessionJob, TranspileOptions, Transpiler};
 use nassc_bench::{cli_usize, BenchReport, HarnessArgs, ReportRow};
 use nassc_parallel::parallel_map;
 use nassc_sim::{success_rate, NoiseModel};
@@ -46,19 +46,19 @@ fn main() {
         base.with_layout_trials(args.layout_trials)
     };
 
-    // Prepare each benchmark once: the prepared circuit is both the
-    // unrouted CNOT baseline and the batch input.
-    let prepared = parallel_map(benchmarks.iter().collect(), |b| {
-        optimize_without_routing(&b.circuit).expect("baseline")
-    });
+    // One session serves the whole grid: the prepared cache runs the
+    // pre-routing optimization once per benchmark (the prepared circuit is
+    // also the unrouted CNOT baseline, served back by `Transpiler::prepared`
+    // below), and the distance cache holds one matrix per calibration — the
+    // plain hop-count one and the noise-aware one of the `+HA` variants.
+    let session = Transpiler::new(device.clone(), TranspileOptions::new());
     // The full (benchmark × variant × run) grid in one batch.
-    let mut jobs: Vec<BatchJob> = Vec::with_capacity(prepared.len() * 4 * args.runs);
-    for circuit in &prepared {
+    let mut jobs: Vec<SessionJob<'_>> = Vec::with_capacity(benchmarks.len() * 4 * args.runs);
+    for bench in &benchmarks {
         for variant in 0..4 {
             for run in 0..args.runs {
-                jobs.push(BatchJob::new(
-                    circuit,
-                    &device,
+                jobs.push(SessionJob::with_options(
+                    &bench.circuit,
                     variant_option(variant, run),
                 ));
             }
@@ -69,7 +69,7 @@ fn main() {
         jobs.len(),
         shots
     );
-    let routed = transpile_batch_prepared(&jobs);
+    let routed = session.transpile_jobs(&jobs);
     let total_transpile_s: f64 = routed
         .iter()
         .map(|r| r.as_ref().expect("transpile").elapsed.as_secs_f64())
@@ -111,7 +111,11 @@ fn main() {
     let per_bench = 4 * args.runs;
     let mut rate_sums = [0.0f64; 4];
     for (index, bench) in benchmarks.iter().enumerate() {
-        let baseline = prepared[index].cx_count();
+        // A guaranteed cache hit: the batch above already prepared it.
+        let baseline = session
+            .prepared(&bench.circuit)
+            .expect("baseline")
+            .cx_count();
         let mean = |values: &mut dyn Iterator<Item = f64>| -> f64 {
             values.sum::<f64>() / args.runs.max(1) as f64
         };
@@ -171,6 +175,13 @@ fn main() {
     report
         .summary
         .push(("total_transpile_seconds".to_string(), total_transpile_s));
+    let stats = session.cache_stats();
+    report
+        .summary
+        .push(("session_cache_hits".to_string(), stats.hits() as f64));
+    report
+        .summary
+        .push(("session_cache_misses".to_string(), stats.misses() as f64));
     println!("total transpile time: {total_transpile_s:.3}s (simulation excluded)");
     args.emit_report(&report);
 }

@@ -1,15 +1,11 @@
 //! Figure 9: CNOT reduction of the best of the 8 optimization-flag
 //! combinations versus enabling all three, on each coupling map.
 
-use nassc::{
-    optimize_without_routing, transpile_batch_prepared, BatchJob, OptimizationFlags,
-    TranspileOptions,
-};
+use nassc::{OptimizationFlags, SessionJob, TranspileOptions, Transpiler};
 use nassc_bench::{
     ensure_suite_fits, geometric_mean_reduction, relative_reduction, BenchReport, HarnessArgs,
     ReportRow,
 };
-use nassc_parallel::parallel_map;
 use nassc_topology::CouplingMap;
 
 /// Seed of run `r` (kept from the serial harness so outputs stay comparable).
@@ -40,30 +36,26 @@ fn main() {
     report.layout_trials = args.layout_trials;
     let mut total_transpile_s = 0.0f64;
 
-    // Pre-routing optimization is device-independent: prepare the suite once
-    // and share the prepared circuits across all three maps' batches.
-    let prepared = parallel_map(suite.iter().collect(), |b| {
-        optimize_without_routing(&b.circuit).expect("preparation")
-    });
-
     for (map_name, device) in &maps {
-        // One batch per map: for each benchmark, `runs` SABRE baselines
-        // followed by `runs` jobs per flag combination.
+        // One session per map, fed the raw circuits: the prepared cache runs
+        // the device-independent pre-routing optimization once per benchmark
+        // and shares it across all nine flag variants of the grid.
+        let session = Transpiler::new(device.clone(), TranspileOptions::new());
+        // For each benchmark, `runs` SABRE baselines followed by `runs` jobs
+        // per flag combination.
         let variants_per_bench = args.runs * (1 + combinations.len());
         let mut jobs = Vec::with_capacity(suite.len() * variants_per_bench);
-        for circuit in &prepared {
+        for bench in &suite {
             for run in 0..args.runs {
-                jobs.push(BatchJob::new(
-                    circuit,
-                    device,
+                jobs.push(SessionJob::with_options(
+                    &bench.circuit,
                     TranspileOptions::sabre(seed(run)).with_layout_trials(args.layout_trials),
                 ));
             }
             for &flags in &combinations {
                 for run in 0..args.runs {
-                    jobs.push(BatchJob::new(
-                        circuit,
-                        device,
+                    jobs.push(SessionJob::with_options(
+                        &bench.circuit,
                         TranspileOptions::nassc_with_flags(seed(run), flags)
                             .with_layout_trials(args.layout_trials),
                     ));
@@ -71,7 +63,7 @@ fn main() {
             }
         }
         eprintln!("[{map_name}] transpiling {} jobs...", jobs.len());
-        let results = transpile_batch_prepared(&jobs);
+        let results = session.transpile_jobs(&jobs);
         total_transpile_s += results
             .iter()
             .map(|r| r.as_ref().expect("transpile").elapsed.as_secs_f64())
@@ -143,6 +135,15 @@ fn main() {
         report.summary.push((
             format!("geomean_all_enabled_{map_name}"),
             geometric_mean_reduction(&all_enabled_deltas),
+        ));
+        let stats = session.cache_stats();
+        report.summary.push((
+            format!("session_cache_hits_{map_name}"),
+            stats.hits() as f64,
+        ));
+        report.summary.push((
+            format!("session_cache_misses_{map_name}"),
+            stats.misses() as f64,
         ));
     }
 

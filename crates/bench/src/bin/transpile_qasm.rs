@@ -12,7 +12,7 @@
 //!   ```
 //!
 //! * **Corpus** (`--qasm-dir <dir>`): run every `.qasm` file of a directory
-//!   through the batch engine under *both* routers (the standard
+//!   through one [`Transpiler`] session under *both* routers (the standard
 //!   SABRE-vs-NASSC comparison grid, fanned across all cores), print the
 //!   comparison table, and — with `--json` — write a [`BenchReport`] whose
 //!   summary carries `corpus_files`, `parse_failures`, `skipped_too_wide`
@@ -36,10 +36,10 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use nassc::qasm;
-use nassc::{transpile, RouterKind, TranspileOptions};
+use nassc::{RouterKind, TranspileOptions, Transpiler};
 use nassc_bench::{
-    cli_usize, cli_value, cnot_report, compare_suite_with_trials, print_cnot_table,
-    total_transpile_seconds, BenchReport, ReportRow, BASE_SEED,
+    cli_usize, cli_value, cnot_report, compare_suite_on, print_cnot_table, total_transpile_seconds,
+    BenchReport, ReportRow, BASE_SEED,
 };
 use nassc_benchmarks::Benchmark;
 use nassc_topology::CouplingMap;
@@ -189,12 +189,12 @@ fn single_mode(
         return ExitCode::FAILURE;
     }
     let seed = cli_usize("--seed").map_or(BASE_SEED, |s| s as u64);
-    let options = match router {
-        RouterKind::Sabre => TranspileOptions::sabre(seed),
-        RouterKind::Nassc => TranspileOptions::nassc(seed),
-    }
-    .with_layout_trials(layout_trials);
-    let result = match transpile(&circuit, device, &options) {
+    let options = TranspileOptions::new()
+        .router(router)
+        .seed(seed)
+        .layout_trials(layout_trials);
+    let session = Transpiler::new(device.clone(), options.clone());
+    let result = match session.transpile(&circuit) {
         Ok(result) => result,
         Err(e) => {
             eprintln!("error: transpiling {name}: {e}");
@@ -316,7 +316,8 @@ fn corpus_mode(
         suite.len(),
         nassc_parallel::default_parallelism()
     );
-    let rows = compare_suite_with_trials(&suite, device, runs, layout_trials);
+    let session = Transpiler::new(device.clone(), TranspileOptions::new());
+    let rows = compare_suite_on(&session, &suite, runs, layout_trials);
     let title = format!(
         "OpenQASM corpus {} on {} qubits",
         dir.display(),
@@ -346,6 +347,13 @@ fn corpus_mode(
     report
         .summary
         .push(("skipped_too_wide".to_string(), skipped_too_wide as f64));
+    let stats = session.cache_stats();
+    report
+        .summary
+        .push(("session_cache_hits".to_string(), stats.hits() as f64));
+    report
+        .summary
+        .push(("session_cache_misses".to_string(), stats.misses() as f64));
     if let Some(path) = &json {
         if let Err(e) = report.write_to_file(path) {
             eprintln!("error: writing {}: {e}", path.display());

@@ -63,6 +63,40 @@ impl QuantumCircuit {
         self.instructions.iter()
     }
 
+    /// A 64-bit structural fingerprint of the circuit: FNV-1a over the qubit
+    /// count and, per instruction, the gate name, the exact bit patterns of
+    /// its parameters, and the qubit indices.
+    ///
+    /// Two structurally equal circuits (`a == b`) always hash equal, so the
+    /// hash works as a cheap cache pre-filter; hash-equal circuits may still
+    /// differ (explicit `Unitary1`/`Unitary2` matrix entries are not folded
+    /// in), so exact callers must confirm with `==` — which is what the
+    /// `Transpiler` session caches do. Parameters hash by `f64::to_bits`,
+    /// matching the pipelines' exact-comparison semantics: `0.1 + 0.2` and
+    /// `0.3` are *different* structures, as they are to the optimizer.
+    pub fn structural_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(&(self.num_qubits as u64).to_le_bytes());
+        for inst in &self.instructions {
+            eat(inst.gate.name().as_bytes());
+            for param in inst.gate.params() {
+                eat(&param.to_bits().to_le_bytes());
+            }
+            for &q in &inst.qubits {
+                eat(&(q as u64).to_le_bytes());
+            }
+        }
+        hash
+    }
+
     /// Appends an instruction.
     ///
     /// # Panics
@@ -492,6 +526,31 @@ mod tests {
         assert_eq!(qc.swap_count(), 1);
         assert_eq!(qc.two_qubit_gate_count(), 3);
         assert_eq!(qc.count_ops()["cx"], 2);
+    }
+
+    #[test]
+    fn structural_hash_tracks_structure() {
+        let mut a = QuantumCircuit::new(3);
+        a.h(0).cx(0, 1).rz(0.25, 2);
+        let mut b = QuantumCircuit::new(3);
+        b.h(0).cx(0, 1).rz(0.25, 2);
+        assert_eq!(a.structural_hash(), b.structural_hash());
+
+        // Any structural difference — qubits, params, gate order, width —
+        // changes the hash.
+        let mut qubits = QuantumCircuit::new(3);
+        qubits.h(0).cx(1, 0).rz(0.25, 2);
+        let mut params = QuantumCircuit::new(3);
+        params.h(0).cx(0, 1).rz(0.75, 2);
+        let mut wider = QuantumCircuit::new(4);
+        wider.h(0).cx(0, 1).rz(0.25, 2);
+        for other in [&qubits, &params, &wider] {
+            assert_ne!(a.structural_hash(), other.structural_hash());
+        }
+        assert_ne!(
+            QuantumCircuit::new(2).structural_hash(),
+            QuantumCircuit::new(3).structural_hash()
+        );
     }
 
     #[test]

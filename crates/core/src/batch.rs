@@ -7,8 +7,8 @@
 //! two seed-independent stages out of the per-job hot path — one
 //! [`DistanceMatrix`] per distinct `(CouplingMap, Calibration)` via a
 //! [`DistanceCache`], and one pre-routing optimization per distinct circuit
-//! — then maps the seed-dependent tails ([`transpile_prepared`]) over an
-//! order-preserving scoped thread pool.
+//! — then maps the seed-dependent tails ([`transpile_prepared`]) over the
+//! order-preserving persistent worker pool.
 //!
 //! Determinism contract: for equal inputs, `transpile_batch(jobs)[i]` equals
 //! `transpile(jobs[i].circuit, jobs[i].coupling, &jobs[i].options)`
@@ -27,7 +27,7 @@ use nassc_passes::PassError;
 use nassc_topology::{Calibration, CouplingMap, DistanceMatrix};
 
 use crate::pipeline::{
-    distances_for, optimize_without_routing, transpile_prepared_on, TranspileOptions,
+    distances_for_impl, optimize_without_routing, transpile_prepared_on_impl, TranspileOptions,
     TranspileResult,
 };
 
@@ -89,6 +89,20 @@ impl DistanceCache {
         self.entries.is_empty()
     }
 
+    /// The cached matrix for `(coupling, calibration)`, if any — the
+    /// hit-or-miss probe behind [`get_or_compute`](Self::get_or_compute),
+    /// exposed so the `Transpiler` session can count cache hits.
+    pub fn lookup(
+        &self,
+        coupling: &CouplingMap,
+        calibration: Option<&Calibration>,
+    ) -> Option<Arc<DistanceMatrix>> {
+        self.entries
+            .iter()
+            .find(|(map, cal, _)| map == coupling && cal.as_ref() == calibration)
+            .map(|(_, _, cached)| Arc::clone(cached))
+    }
+
     /// Returns the distance matrix for `(coupling, calibration)`, computing
     /// and caching it on first use.
     pub fn get_or_compute(
@@ -96,14 +110,10 @@ impl DistanceCache {
         coupling: &CouplingMap,
         calibration: Option<&Calibration>,
     ) -> Arc<DistanceMatrix> {
-        if let Some((_, _, cached)) = self
-            .entries
-            .iter()
-            .find(|(map, cal, _)| map == coupling && cal.as_ref() == calibration)
-        {
-            return Arc::clone(cached);
+        if let Some(cached) = self.lookup(coupling, calibration) {
+            return cached;
         }
-        let computed = Arc::new(distances_for(coupling, calibration));
+        let computed = Arc::new(distances_for_impl(coupling, calibration));
         self.entries.push((
             coupling.clone(),
             calibration.cloned(),
@@ -118,12 +128,22 @@ impl DistanceCache {
 /// See the module docs for the determinism contract. Results come back in
 /// job order; a failed job yields its [`PassError`] in place without
 /// aborting the rest of the batch.
+#[deprecated(note = "use Transpiler::transpile_batch — one session per device \
+                     replaces the per-call job grid")]
 pub fn transpile_batch(jobs: &[BatchJob<'_>]) -> Vec<Result<TranspileResult, PassError>> {
-    transpile_batch_on(&ThreadPool::with_default_parallelism(), jobs)
+    transpile_batch_on_impl(&ThreadPool::with_default_parallelism(), jobs)
 }
 
 /// [`transpile_batch`] on an explicitly sized pool.
+#[deprecated(note = "use Transpiler::with_pool(..).transpile_batch")]
 pub fn transpile_batch_on(
+    pool: &ThreadPool,
+    jobs: &[BatchJob<'_>],
+) -> Vec<Result<TranspileResult, PassError>> {
+    transpile_batch_on_impl(pool, jobs)
+}
+
+pub(crate) fn transpile_batch_on_impl(
     pool: &ThreadPool,
     jobs: &[BatchJob<'_>],
 ) -> Vec<Result<TranspileResult, PassError>> {
@@ -161,12 +181,22 @@ pub fn transpile_batch_on(
 /// Equivalent to [`transpile_batch`] over the corresponding raw circuits,
 /// because [`crate::pipeline::transpile`] is exactly preparation followed by
 /// [`crate::pipeline::transpile_prepared`].
+#[deprecated(note = "use Transpiler::transpile_batch — the session's \
+                     prepared-baseline cache replaces manual preparation")]
 pub fn transpile_batch_prepared(jobs: &[BatchJob<'_>]) -> Vec<Result<TranspileResult, PassError>> {
-    transpile_batch_prepared_on(&ThreadPool::with_default_parallelism(), jobs)
+    transpile_batch_prepared_on_impl(&ThreadPool::with_default_parallelism(), jobs)
 }
 
 /// [`transpile_batch_prepared`] on an explicitly sized pool.
+#[deprecated(note = "use Transpiler::with_pool(..).transpile_batch")]
 pub fn transpile_batch_prepared_on(
+    pool: &ThreadPool,
+    jobs: &[BatchJob<'_>],
+) -> Vec<Result<TranspileResult, PassError>> {
+    transpile_batch_prepared_on_impl(pool, jobs)
+}
+
+pub(crate) fn transpile_batch_prepared_on_impl(
     pool: &ThreadPool,
     jobs: &[BatchJob<'_>],
 ) -> Vec<Result<TranspileResult, PassError>> {
@@ -205,7 +235,7 @@ where
 
     let (job_pool, trial_pool) = pool.split_budget(jobs.len());
     job_pool.map(work, |(index, job, distances)| {
-        transpile_prepared_on(
+        transpile_prepared_on_impl(
             prepared_for(index)?,
             job.coupling,
             &distances,
@@ -215,10 +245,13 @@ where
     })
 }
 
+// The tests exercise the deprecated free functions on purpose: they pin the
+// behavior the legacy shims must keep until removal.
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use crate::pipeline::transpile;
+    use crate::pipeline::{distances_for, transpile};
 
     fn sample_circuit() -> QuantumCircuit {
         let mut qc = QuantumCircuit::new(5);

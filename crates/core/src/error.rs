@@ -1,0 +1,76 @@
+//! The consolidated error type of the session API.
+//!
+//! The transpilation stack has two failure domains: optimization passes
+//! ([`PassError`], from `nassc-passes`) and OpenQASM parsing/export
+//! ([`QasmError`], from `nassc-qasm`). Callers driving circuits through the
+//! [`Transpiler`] from QASM source used to match both; [`Error`] wraps them
+//! behind one `std::error::Error` so `Transpiler::transpile_qasm` — and any
+//! future service front end — returns a single type that `?` converts into.
+//!
+//! [`Transpiler`]: crate::session::Transpiler
+
+use std::fmt;
+
+use nassc_passes::PassError;
+use nassc_qasm::QasmError;
+
+/// Any error the session API can produce: a failed optimization pass or a
+/// QASM parse/export failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// An optimization or layout pass failed.
+    Pass(PassError),
+    /// OpenQASM parsing or export failed.
+    Qasm(QasmError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Pass(e) => e.fmt(f),
+            Error::Qasm(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Pass(e) => Some(e),
+            Error::Qasm(e) => Some(e),
+        }
+    }
+}
+
+impl From<PassError> for Error {
+    fn from(e: PassError) -> Self {
+        Error::Pass(e)
+    }
+}
+
+impl From<QasmError> for Error {
+    fn from(e: QasmError) -> Self {
+        Error::Qasm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_both_domains_with_sources() {
+        let pass: Error = PassError::new("unroll", "unknown gate").into();
+        let qasm: Error = QasmError::at(3, "bad register").into();
+        assert!(matches!(pass, Error::Pass(_)));
+        assert!(matches!(qasm, Error::Qasm(_)));
+        for e in [&pass, &qasm] {
+            assert!(!e.to_string().is_empty());
+            assert!(std::error::Error::source(e).is_some());
+        }
+        assert_eq!(
+            qasm.to_string(),
+            QasmError::at(3, "bad register").to_string()
+        );
+    }
+}

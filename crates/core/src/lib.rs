@@ -13,20 +13,25 @@
 //! * [`NasscPolicy`] — the optimization-aware SWAP scorer plugged into the
 //!   SABRE traversal engine, with optimization-aware SWAP decomposition and
 //!   single-qubit movement through SWAPs (§IV-E),
-//! * [`transpile`] / [`TranspileOptions`] — the full `Qiskit+SABRE` and
-//!   `Qiskit+NASSC` pipelines evaluated in the paper, including the
-//!   noise-aware `+HA` variants (Eq. 3) and multi-trial layout selection
-//!   (`TranspileOptions::with_layout_trials`, refining each candidate with
-//!   the router's own policy),
-//! * [`transpile_batch`] / [`BatchJob`] — the batch engine fanning
-//!   (benchmark × seed × router) grids across cores with shared
-//!   per-device distance matrices ([`DistanceCache`]) and results
-//!   bit-identical to serial execution.
+//! * [`Transpiler`] / [`TranspileOptions`] — the long-lived session API: the
+//!   full `Qiskit+SABRE` and `Qiskit+NASSC` pipelines evaluated in the paper
+//!   (including the noise-aware `+HA` variants of Eq. 3 and multi-trial
+//!   layout selection via `TranspileOptions::new().layout_trials(n)`) behind
+//!   one entry point that owns the persistent worker budget and reuses
+//!   distance matrices, prepared baselines and layout winners across
+//!   requests ([`CacheStats`] reports the hit rates),
+//! * [`Transpiler::transpile_jobs`] / [`SessionJob`] — the batch engine
+//!   fanning (benchmark × seed × router) grids across cores with results
+//!   bit-identical to serial execution at any cache temperature.
+//!
+//! The nine free functions of the pre-session API (`transpile`,
+//! `transpile_batch`, `distances_for`, …) remain as deprecated shims with
+//! unchanged behavior.
 //!
 //! # Example
 //!
 //! ```
-//! use nassc::{transpile, TranspileOptions};
+//! use nassc::{Transpiler, TranspileOptions, RouterKind};
 //! use nassc_circuit::QuantumCircuit;
 //! use nassc_topology::CouplingMap;
 //!
@@ -35,26 +40,39 @@
 //! qc.cx(1, 2).cx(0, 1).cx(0, 2);
 //! let device = CouplingMap::linear(3);
 //!
-//! let sabre = transpile(&qc, &device, &TranspileOptions::sabre(7)).unwrap();
-//! let nassc = transpile(&qc, &device, &TranspileOptions::nassc(7)).unwrap();
-//! assert!(nassc.cx_count() <= sabre.cx_count());
+//! let sabre = Transpiler::new(
+//!     device.clone(),
+//!     TranspileOptions::new().router(RouterKind::Sabre).seed(7),
+//! );
+//! let nassc = Transpiler::new(device, TranspileOptions::new().seed(7));
+//! let baseline = sabre.transpile(&qc).unwrap();
+//! let ours = nassc.transpile(&qc).unwrap();
+//! assert!(ours.cx_count() <= baseline.cx_count());
 //! ```
 
 pub mod batch;
 pub mod cost;
+pub mod error;
 pub mod pipeline;
 pub mod policy;
+pub mod session;
 
+#[allow(deprecated)]
 pub use batch::{
     transpile_batch, transpile_batch_on, transpile_batch_prepared, transpile_batch_prepared_on,
-    BatchJob, DistanceCache,
 };
+pub use batch::{BatchJob, DistanceCache};
 pub use cost::{
     evaluate_swap_reduction, evaluate_swap_reduction_windowed, OptimizationFlags, SwapReduction,
 };
+pub use error::Error;
 pub use pipeline::{
-    decompose_swaps_fixed, distances_for, embed, optimize_without_routing, transpile,
-    transpile_prepared, transpile_prepared_on, transpile_with_distances, RouterKind,
-    TranspileOptions, TranspileResult,
+    decompose_swaps_fixed, embed, optimize_without_routing, RouterKind, TranspileOptions,
+    TranspileResult,
+};
+#[allow(deprecated)]
+pub use pipeline::{
+    distances_for, transpile, transpile_prepared, transpile_prepared_on, transpile_with_distances,
 };
 pub use policy::NasscPolicy;
+pub use session::{CacheStats, SessionJob, Transpiler};

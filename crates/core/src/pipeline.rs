@@ -22,6 +22,7 @@ use nassc_topology::{
 
 use crate::cost::OptimizationFlags;
 use crate::policy::NasscPolicy;
+use crate::session::CacheStats;
 
 /// Which routing algorithm a [`TranspileOptions`] selects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,7 +34,13 @@ pub enum RouterKind {
 }
 
 /// Options controlling a full transpilation.
-#[derive(Debug, Clone)]
+///
+/// Construct via the fluent builder —
+/// `TranspileOptions::new().router(RouterKind::Sabre).layout_trials(4).seed(7)`
+/// — or one of the named presets ([`sabre`](Self::sabre),
+/// [`nassc`](Self::nassc)). Struct-literal construction over the public
+/// fields keeps working for existing callers.
+#[derive(Debug, Clone, PartialEq)]
 pub struct TranspileOptions {
     /// Which router to use.
     pub router: RouterKind,
@@ -57,7 +64,79 @@ pub struct TranspileOptions {
     pub layout_trials: usize,
 }
 
+impl Default for TranspileOptions {
+    /// The paper's headline configuration: `Qiskit+NASSC` with every
+    /// optimization enabled and the default seed ([`SabreConfig::default`]).
+    fn default() -> Self {
+        Self {
+            router: RouterKind::Nassc,
+            config: SabreConfig::default(),
+            flags: OptimizationFlags::all(),
+            calibration: None,
+            layout_trials: 1,
+        }
+    }
+}
+
 impl TranspileOptions {
+    /// Starts the fluent builder from the [`Default`] configuration
+    /// (`Qiskit+NASSC`, all optimizations, default seed, one layout trial).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the routing algorithm and resets [`flags`](Self::flags) to
+    /// that router's canonical set (none for SABRE, which ignores them; all
+    /// for NASSC) — so `new().router(RouterKind::Sabre).seed(s)` equals
+    /// [`sabre(s)`](Self::sabre) exactly. Set custom flags *after* the
+    /// router.
+    #[must_use]
+    pub fn router(mut self, router: RouterKind) -> Self {
+        self.router = router;
+        self.flags = match router {
+            RouterKind::Sabre => OptimizationFlags::none(),
+            RouterKind::Nassc => OptimizationFlags::all(),
+        };
+        self
+    }
+
+    /// Sets the layout/routing RNG seed, keeping the other heuristic
+    /// parameters as configured.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Replaces the full SABRE/NASSC heuristic configuration.
+    #[must_use]
+    pub fn config(mut self, config: SabreConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets NASSC's optimization flags (`b_k` bits); ignored by SABRE.
+    #[must_use]
+    pub fn flags(mut self, flags: OptimizationFlags) -> Self {
+        self.flags = flags;
+        self
+    }
+
+    /// Builder alias of [`with_calibration`](Self::with_calibration): route
+    /// on the noise-aware distance matrix of Eq. 3.
+    #[must_use]
+    pub fn calibration(self, calibration: Calibration) -> Self {
+        self.with_calibration(calibration)
+    }
+
+    /// Builder alias of [`with_layout_trials`](Self::with_layout_trials):
+    /// run `trials` independent layout trials (clamped to at least 1).
+    #[must_use]
+    pub fn layout_trials(self, trials: usize) -> Self {
+        self.with_layout_trials(trials)
+    }
+
     /// `Qiskit+SABRE` with the given seed.
     pub fn sabre(seed: u64) -> Self {
         Self {
@@ -90,6 +169,7 @@ impl TranspileOptions {
     }
 
     /// The noise-aware variant (`SABRE+HA` / `NASSC+HA`).
+    #[must_use]
     pub fn with_calibration(mut self, calibration: Calibration) -> Self {
         self.calibration = Some(calibration);
         self
@@ -98,6 +178,7 @@ impl TranspileOptions {
     /// Runs `trials` independent layout trials (clamped to at least 1) and
     /// keeps the cheapest-to-route layout. `1` preserves the historical
     /// single-trial outputs bit-for-bit.
+    #[must_use]
     pub fn with_layout_trials(mut self, trials: usize) -> Self {
         self.layout_trials = trials.max(1);
         self
@@ -124,6 +205,12 @@ pub struct TranspileResult {
     /// NASSC — comparable within a run, not across routers. Empty in
     /// single-trial mode, where no scoring pass runs.
     pub layout_trial_costs: Vec<f64>,
+    /// Cache activity this request observed on the [`Transpiler`] session
+    /// that served it: hits and misses against the distance, prepared and
+    /// layout caches. All zero on the cache-less free-function paths.
+    ///
+    /// [`Transpiler`]: crate::session::Transpiler
+    pub cache: CacheStats,
     /// Wall-clock time of the whole pipeline.
     pub elapsed: Duration,
 }
@@ -154,9 +241,21 @@ pub fn optimize_without_routing(circuit: &QuantumCircuit) -> Result<QuantumCircu
 /// hop counts, or the noise-aware Eq. 3 variant when a calibration is given.
 ///
 /// The result depends only on `(coupling, calibration)`, never on the circuit
-/// or seed — batch drivers compute it once per device and share it across
-/// every job via [`transpile_with_distances`] (see `crate::batch`).
+/// or seed — the [`Transpiler`] session computes it once per device and
+/// shares it across every request through its distance cache.
+///
+/// [`Transpiler`]: crate::session::Transpiler
+#[deprecated(note = "use Transpiler — its distance cache owns this computation")]
 pub fn distances_for(coupling: &CouplingMap, calibration: Option<&Calibration>) -> DistanceMatrix {
+    distances_for_impl(coupling, calibration)
+}
+
+/// Non-deprecated internal behind [`distances_for`], shared by the session
+/// caches and the legacy shims.
+pub(crate) fn distances_for_impl(
+    coupling: &CouplingMap,
+    calibration: Option<&Calibration>,
+) -> DistanceMatrix {
     match calibration {
         Some(cal) => noise_aware_distance(coupling, cal, NoiseAwareAlphas::default()),
         None => coupling.distance_matrix(),
@@ -169,14 +268,24 @@ pub fn distances_for(coupling: &CouplingMap, calibration: Option<&Calibration>) 
 /// # Errors
 ///
 /// Propagates [`PassError`] from any optimization pass.
+#[deprecated(note = "use Transpiler::transpile — it reuses distances, prepared \
+                     baselines and layout winners across requests")]
 pub fn transpile(
     circuit: &QuantumCircuit,
     coupling: &CouplingMap,
     options: &TranspileOptions,
 ) -> Result<TranspileResult, PassError> {
+    transpile_impl(circuit, coupling, options)
+}
+
+pub(crate) fn transpile_impl(
+    circuit: &QuantumCircuit,
+    coupling: &CouplingMap,
+    options: &TranspileOptions,
+) -> Result<TranspileResult, PassError> {
     let start = Instant::now();
-    let distances = distances_for(coupling, options.calibration.as_ref());
-    let mut result = transpile_with_distances(circuit, coupling, &distances, options)?;
+    let distances = distances_for_impl(coupling, options.calibration.as_ref());
+    let mut result = transpile_with_distances_impl(circuit, coupling, &distances, options)?;
     // Keep the historical meaning of `elapsed` for this entry point: the
     // whole pipeline, distance-matrix construction included.
     result.elapsed = start.elapsed();
@@ -194,7 +303,18 @@ pub fn transpile(
 /// # Errors
 ///
 /// Propagates [`PassError`] from any optimization pass.
+#[deprecated(note = "use Transpiler::transpile — its distance cache makes the \
+                     precomputed-matrix plumbing unnecessary")]
 pub fn transpile_with_distances(
+    circuit: &QuantumCircuit,
+    coupling: &CouplingMap,
+    distances: &DistanceMatrix,
+    options: &TranspileOptions,
+) -> Result<TranspileResult, PassError> {
+    transpile_with_distances_impl(circuit, coupling, distances, options)
+}
+
+pub(crate) fn transpile_with_distances_impl(
     circuit: &QuantumCircuit,
     coupling: &CouplingMap,
     distances: &DistanceMatrix,
@@ -203,7 +323,7 @@ pub fn transpile_with_distances(
     let start = Instant::now();
     // Pre-routing optimization (moved before routing, as NASSC requires).
     let prepared = optimize_without_routing(circuit)?;
-    let mut result = transpile_prepared(&prepared, coupling, distances, options)?;
+    let mut result = transpile_prepared_impl(&prepared, coupling, distances, options)?;
     // Report the whole pipeline's wall-clock, including preparation.
     result.elapsed = start.elapsed();
     Ok(result)
@@ -225,13 +345,24 @@ pub fn transpile_with_distances(
 /// # Errors
 ///
 /// Propagates [`PassError`] from any optimization pass.
+#[deprecated(note = "use Transpiler::transpile — its prepared-baseline cache \
+                     shares preparation across requests automatically")]
 pub fn transpile_prepared(
     prepared: &QuantumCircuit,
     coupling: &CouplingMap,
     distances: &DistanceMatrix,
     options: &TranspileOptions,
 ) -> Result<TranspileResult, PassError> {
-    transpile_prepared_on(
+    transpile_prepared_impl(prepared, coupling, distances, options)
+}
+
+pub(crate) fn transpile_prepared_impl(
+    prepared: &QuantumCircuit,
+    coupling: &CouplingMap,
+    distances: &DistanceMatrix,
+    options: &TranspileOptions,
+) -> Result<TranspileResult, PassError> {
+    transpile_prepared_on_impl(
         prepared,
         coupling,
         distances,
@@ -253,7 +384,19 @@ pub fn transpile_prepared(
 /// # Errors
 ///
 /// Propagates [`PassError`] from any optimization pass.
+#[deprecated(note = "use Transpiler::with_pool(..).transpile — the session \
+                     owns the worker budget")]
 pub fn transpile_prepared_on(
+    prepared: &QuantumCircuit,
+    coupling: &CouplingMap,
+    distances: &DistanceMatrix,
+    options: &TranspileOptions,
+    trial_pool: &ThreadPool,
+) -> Result<TranspileResult, PassError> {
+    transpile_prepared_on_impl(prepared, coupling, distances, options, trial_pool)
+}
+
+pub(crate) fn transpile_prepared_on_impl(
     prepared: &QuantumCircuit,
     coupling: &CouplingMap,
     distances: &DistanceMatrix,
@@ -307,6 +450,80 @@ pub fn transpile_prepared_on(
         swap_count: routed.swap_count,
         chosen_layout_trial,
         layout_trial_costs,
+        cache: CacheStats::default(),
+        elapsed: start.elapsed(),
+    })
+}
+
+/// The warm-cache tail used by the [`Transpiler`] layout cache: route the
+/// prepared circuit **from an already-chosen initial layout** (the cached
+/// winner of a previous request's layout search), then decompose and
+/// post-optimize as usual.
+///
+/// Bit-identity with the cold path follows from how the cold path itself
+/// routes: in single-trial mode the production route is exactly
+/// [`route_from`] on the refined layout, and in multi-trial mode the
+/// winner's scoring pass already runs on the production RNG, so its route
+/// *is* the production route (see [`LayoutTrials::run_routed`]). Either way,
+/// re-running [`route_from`] on the cached initial layout with the same
+/// options reproduces the cold route gate-for-gate. The worker budget feeds
+/// in-pass SWAP scoring only, which never affects results.
+///
+/// `chosen_trial` and `trial_costs` are the cached diagnostics of the
+/// original layout search, echoed so warm results equal cold results field
+/// by field.
+///
+/// [`Transpiler`]: crate::session::Transpiler
+/// [`LayoutTrials::run_routed`]: nassc_sabre::LayoutTrials::run_routed
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn transpile_prepared_from_layout(
+    prepared: &QuantumCircuit,
+    coupling: &CouplingMap,
+    distances: &DistanceMatrix,
+    options: &TranspileOptions,
+    initial_layout: &Layout,
+    chosen_trial: usize,
+    trial_costs: Vec<f64>,
+    score_pool: &ThreadPool,
+) -> Result<TranspileResult, PassError> {
+    let start = Instant::now();
+    let (routed, decomposed) = match options.router {
+        RouterKind::Sabre => {
+            let (routed, _) = route_from(
+                prepared,
+                coupling,
+                distances,
+                initial_layout,
+                options,
+                &|| SabrePolicy,
+                score_pool,
+            );
+            let decomposed = decompose_swaps_fixed(&routed.circuit);
+            (routed, decomposed)
+        }
+        RouterKind::Nassc => {
+            let (routed, policy) = route_from(
+                prepared,
+                coupling,
+                distances,
+                initial_layout,
+                options,
+                &|| NasscPolicy::new(options.flags),
+                score_pool,
+            );
+            let decomposed = policy.decompose_swaps(&routed.circuit);
+            (routed, decomposed)
+        }
+    };
+    let optimized = standard_optimization_pipeline().run(&decomposed)?;
+    Ok(TranspileResult {
+        circuit: optimized,
+        initial_layout: routed.initial_layout,
+        final_layout: routed.final_layout,
+        swap_count: routed.swap_count,
+        chosen_layout_trial: chosen_trial,
+        layout_trial_costs: trial_costs,
+        cache: CacheStats::default(),
         elapsed: start.elapsed(),
     })
 }
@@ -434,7 +651,10 @@ pub fn decompose_swaps_fixed(circuit: &QuantumCircuit) -> QuantumCircuit {
     out
 }
 
+// The tests exercise the deprecated free functions on purpose: they pin the
+// behavior the legacy shims must keep until removal.
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use nassc_passes::is_mapped;

@@ -1,0 +1,523 @@
+//! The long-lived [`Transpiler`] session: one blessed entry point owning the
+//! worker budget and every cross-request cache.
+//!
+//! The free functions this module supersedes (`transpile`,
+//! `transpile_with_distances`, `transpile_prepared[_on]`,
+//! `transpile_batch[_prepared][_on]`, `distances_for`) each forced callers to
+//! hand-manage some slice of reusable state: distance matrices, prepared
+//! pre-routing baselines, thread budgets. A service handling many requests
+//! against one device wants that state owned in one place and reused
+//! automatically. A `Transpiler` is constructed once per device and then
+//! serves any number of requests, reusing three caches across them:
+//!
+//! 1. **Distances** — one [`DistanceMatrix`] per distinct
+//!    `(coupling, calibration)` pair (via [`DistanceCache`]); requests whose
+//!    options carry a different calibration get their own entry.
+//! 2. **Prepared baselines** — the deterministic, seed-independent
+//!    pre-routing optimization ([`optimize_without_routing`]) memoized per
+//!    structurally distinct circuit, keyed by
+//!    [`QuantumCircuit::structural_hash`] and confirmed by full equality.
+//! 3. **Layout winners** — the chosen initial layout (plus trial
+//!    diagnostics) per `(prepared circuit, options)` pair. A warm request
+//!    replays one routing pass from the cached layout instead of re-running
+//!    the whole layout search; the result is bit-identical to the cold path
+//!    (see `transpile_prepared_from_layout` in `pipeline.rs` for why).
+//!
+//! Hit/miss counters for all three caches are attached to every
+//! [`TranspileResult`] (`result.cache`, this request only) and accumulated
+//! on the session ([`Transpiler::cache_stats`]). Worker threads come from
+//! the process-wide persistent pool (`nassc-parallel`); the session's
+//! [`ThreadPool`] handle is the concurrency budget each request's fan-out
+//! respects, so construction is cheap and `NASSC_THREADS` keeps working.
+//!
+//! Determinism contract, inherited and extended: for equal inputs a session
+//! returns the same circuits, layouts and SWAP counts as the legacy free
+//! functions, bit for bit, at any worker count and any cache temperature —
+//! only `elapsed` and `cache` differ.
+//!
+//! [`optimize_without_routing`]: crate::pipeline::optimize_without_routing
+
+use std::sync::{Arc, Mutex};
+
+use nassc_circuit::QuantumCircuit;
+use nassc_parallel::{worker_pool_status, PoolStatus, ThreadPool};
+use nassc_passes::PassError;
+use nassc_topology::{CouplingMap, DistanceMatrix, Layout};
+
+use crate::batch::DistanceCache;
+use crate::error::Error;
+use crate::pipeline::{
+    optimize_without_routing, transpile_prepared_from_layout, transpile_prepared_on_impl,
+    TranspileOptions, TranspileResult,
+};
+
+/// Hit/miss counters of the [`Transpiler`] caches.
+///
+/// On a [`TranspileResult`] the counters describe that request alone (each
+/// of the three pairs sums to the number of cache consultations the request
+/// made — one for a single transpile). On [`Transpiler::cache_stats`] they
+/// accumulate over the session's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Distance-matrix cache hits (one lookup per request).
+    pub distance_hits: u64,
+    /// Distance-matrix cache misses (each miss builds a matrix).
+    pub distance_misses: u64,
+    /// Prepared-baseline cache hits (one lookup per request).
+    pub prepared_hits: u64,
+    /// Prepared-baseline cache misses (each miss runs the pre-routing
+    /// optimization pipeline).
+    pub prepared_misses: u64,
+    /// Layout-winner cache hits (a hit skips the whole layout search).
+    pub layout_hits: u64,
+    /// Layout-winner cache misses (each miss runs layout + trials).
+    pub layout_misses: u64,
+}
+
+impl CacheStats {
+    /// Total hits across all three caches.
+    pub fn hits(&self) -> u64 {
+        self.distance_hits + self.prepared_hits + self.layout_hits
+    }
+
+    /// Total misses across all three caches.
+    pub fn misses(&self) -> u64 {
+        self.distance_misses + self.prepared_misses + self.layout_misses
+    }
+
+    /// Adds `other`'s counters into `self` (used to roll per-request stats
+    /// into the session totals).
+    pub fn accumulate(&mut self, other: &CacheStats) {
+        self.distance_hits += other.distance_hits;
+        self.distance_misses += other.distance_misses;
+        self.prepared_hits += other.prepared_hits;
+        self.prepared_misses += other.prepared_misses;
+        self.layout_hits += other.layout_hits;
+        self.layout_misses += other.layout_misses;
+    }
+}
+
+/// One request of a [`Transpiler::transpile_jobs`] batch: a circuit and,
+/// optionally, options overriding the session defaults (a different seed,
+/// router, flag set or calibration — the sweep axes of the paper's grids).
+#[derive(Debug, Clone)]
+pub struct SessionJob<'a> {
+    /// The logical circuit to transpile.
+    pub circuit: &'a QuantumCircuit,
+    /// Options for this job; `None` uses the session's defaults.
+    pub options: Option<TranspileOptions>,
+}
+
+impl<'a> SessionJob<'a> {
+    /// A job using the session's default options.
+    pub fn new(circuit: &'a QuantumCircuit) -> Self {
+        Self {
+            circuit,
+            options: None,
+        }
+    }
+
+    /// A job with per-job options (seed sweeps, router comparisons).
+    pub fn with_options(circuit: &'a QuantumCircuit, options: TranspileOptions) -> Self {
+        Self {
+            circuit,
+            options: Some(options),
+        }
+    }
+}
+
+/// A prepared baseline memoized per structurally distinct raw circuit.
+struct PreparedEntry {
+    raw_hash: u64,
+    raw: QuantumCircuit,
+    prepared: Arc<QuantumCircuit>,
+}
+
+/// A layout-search winner memoized per `(prepared circuit, options)`.
+struct LayoutEntry {
+    prepared_hash: u64,
+    prepared: Arc<QuantumCircuit>,
+    options: TranspileOptions,
+    initial_layout: Layout,
+    chosen_trial: usize,
+    trial_costs: Vec<f64>,
+}
+
+/// Everything mutable behind the session lock.
+#[derive(Default)]
+struct SessionState {
+    distances: DistanceCache,
+    prepared: Vec<PreparedEntry>,
+    layouts: Vec<LayoutEntry>,
+    stats: CacheStats,
+}
+
+/// What the serial resolution phase hands each fanned-out job: every cache
+/// decision is already made, so workers share state without touching the
+/// session lock.
+struct ResolvedJob {
+    index: usize,
+    options: TranspileOptions,
+    distances: Arc<DistanceMatrix>,
+    prepared: Arc<QuantumCircuit>,
+    cached_layout: Option<(Layout, usize, Vec<f64>)>,
+    stats: CacheStats,
+}
+
+/// A long-lived transpilation session for one device.
+///
+/// Construct once, reuse for every request against that device; see the
+/// [module docs](self) for what is cached between requests. All methods
+/// take `&self` — the caches sit behind an internal lock, so a session can
+/// be shared across threads (requests resolve their cache lookups serially,
+/// then fan out).
+///
+/// # Example
+///
+/// ```
+/// use nassc_core::{RouterKind, Transpiler, TranspileOptions};
+/// use nassc_circuit::QuantumCircuit;
+/// use nassc_topology::CouplingMap;
+///
+/// let mut qc = QuantumCircuit::new(3);
+/// qc.cx(1, 2).cx(0, 1).cx(0, 2);
+///
+/// let session = Transpiler::new(
+///     CouplingMap::linear(3),
+///     TranspileOptions::new().router(RouterKind::Nassc).seed(7),
+/// );
+/// let cold = session.transpile(&qc).unwrap();
+/// let warm = session.transpile(&qc).unwrap();
+/// assert_eq!(cold.circuit, warm.circuit);
+/// assert_eq!(warm.cache.hits(), 3); // distances, baseline, layout
+/// ```
+pub struct Transpiler {
+    coupling: CouplingMap,
+    options: TranspileOptions,
+    pool: ThreadPool,
+    state: Mutex<SessionState>,
+}
+
+impl std::fmt::Debug for Transpiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Transpiler")
+            .field("coupling", &self.coupling)
+            .field("options", &self.options)
+            .field("pool", &self.pool)
+            .field("cache_stats", &self.cache_stats())
+            .finish()
+    }
+}
+
+impl Transpiler {
+    /// A session for `coupling` with the given default options (the device
+    /// calibration, if any, travels in `options.calibration`). The worker
+    /// budget defaults to [`ThreadPool::with_default_parallelism`]
+    /// (`NASSC_THREADS` applies).
+    pub fn new(coupling: CouplingMap, options: TranspileOptions) -> Self {
+        Self {
+            coupling,
+            options,
+            pool: ThreadPool::with_default_parallelism(),
+            state: Mutex::new(SessionState::default()),
+        }
+    }
+
+    /// Replaces the session's worker budget (builder style).
+    #[must_use]
+    pub fn with_pool(mut self, pool: ThreadPool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// The device this session transpiles onto.
+    pub fn coupling(&self) -> &CouplingMap {
+        &self.coupling
+    }
+
+    /// The session's default options.
+    pub fn options(&self) -> &TranspileOptions {
+        &self.options
+    }
+
+    /// The session's worker budget.
+    pub fn pool(&self) -> ThreadPool {
+        self.pool
+    }
+
+    /// Cumulative cache counters over every request served so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.lock().stats
+    }
+
+    /// A snapshot of the process-wide persistent worker pool feeding this
+    /// session's dispatches.
+    pub fn pool_status(&self) -> PoolStatus {
+        worker_pool_status()
+    }
+
+    /// Transpiles one circuit under the session's default options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PassError`] from any optimization pass.
+    pub fn transpile(&self, circuit: &QuantumCircuit) -> Result<TranspileResult, PassError> {
+        self.transpile_with(circuit, &self.options)
+    }
+
+    /// Transpiles one circuit with per-request options (different seed,
+    /// router, flags or calibration), still sharing the session caches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PassError`] from any optimization pass.
+    pub fn transpile_with(
+        &self,
+        circuit: &QuantumCircuit,
+        options: &TranspileOptions,
+    ) -> Result<TranspileResult, PassError> {
+        let job = SessionJob::with_options(circuit, options.clone());
+        self.transpile_jobs(std::slice::from_ref(&job))
+            .pop()
+            .expect("one job yields one result")
+    }
+
+    /// Transpiles every circuit under the session's default options,
+    /// fanning the batch across the worker budget. Results come back in
+    /// input order; a failed circuit yields its error in place.
+    pub fn transpile_batch(
+        &self,
+        circuits: &[QuantumCircuit],
+    ) -> Vec<Result<TranspileResult, PassError>> {
+        let jobs: Vec<SessionJob<'_>> = circuits.iter().map(SessionJob::new).collect();
+        self.transpile_jobs(&jobs)
+    }
+
+    /// The general batch entry point: transpiles every job (each optionally
+    /// overriding the session options), sharing all caches and splitting the
+    /// worker budget between jobs and each job's layout trials.
+    ///
+    /// Results come back in job order and are bit-identical to calling
+    /// [`transpile_with`](Self::transpile_with) per job in sequence —
+    /// whatever the worker count or cache temperature.
+    pub fn transpile_jobs(
+        &self,
+        jobs: &[SessionJob<'_>],
+    ) -> Vec<Result<TranspileResult, PassError>> {
+        // Phase 1 — serial resolution under the lock: every cache read and
+        // every preparation happens here, in job order, so cache counters
+        // are deterministic and workers never contend on the session lock.
+        let resolved: Vec<Result<ResolvedJob, PassError>> = {
+            let mut state = self.lock();
+            jobs.iter()
+                .enumerate()
+                .map(|(index, job)| {
+                    let options = job.options.clone().unwrap_or_else(|| self.options.clone());
+                    self.resolve(&mut state, index, job.circuit, options)
+                })
+                .collect()
+        };
+
+        // Phase 2 — fan the seed-dependent tails across the budget.
+        let (job_pool, trial_pool) = self.pool.split_budget(jobs.len());
+        let mut results = job_pool.map(resolved.iter().collect(), |resolved| match resolved {
+            Ok(resolved) => self.run_resolved(resolved, &trial_pool),
+            Err(e) => Err(e.clone()),
+        });
+
+        // Phase 3 — commit: stamp per-request counters, memoize the layout
+        // winners that cold jobs just discovered, roll up session stats.
+        for (resolved, result) in resolved.iter().zip(results.iter_mut()) {
+            if let (Ok(resolved), Ok(result)) = (resolved, result.as_mut()) {
+                result.cache = resolved.stats;
+            }
+        }
+        let committed: Vec<ResolvedJob> = resolved.into_iter().filter_map(Result::ok).collect();
+        self.commit(&committed, &results);
+        results
+    }
+
+    /// Transpiles OpenQASM 2.0 source under the session's default options:
+    /// parse, then [`transpile`](Self::transpile), with both failure domains
+    /// folded into one [`Error`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Qasm`] when the source does not parse, [`Error::Pass`] when
+    /// an optimization pass fails.
+    pub fn transpile_qasm(&self, source: &str) -> Result<TranspileResult, Error> {
+        let circuit = nassc_qasm::parse(source)?;
+        Ok(self.transpile(&circuit)?)
+    }
+
+    /// The prepared pre-routing baseline of `circuit` (what
+    /// [`optimize_without_routing`] produces), served from the session's
+    /// prepared cache. Benchmark drivers report baseline CNOT/depth from
+    /// this without paying preparation twice.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PassError`] from the preparation pipeline.
+    pub fn prepared(&self, circuit: &QuantumCircuit) -> Result<Arc<QuantumCircuit>, PassError> {
+        let mut state = self.lock();
+        let (prepared, hit) = Self::prepared_locked(&mut state, circuit)?;
+        if hit {
+            state.stats.prepared_hits += 1;
+        } else {
+            state.stats.prepared_misses += 1;
+        }
+        Ok(prepared)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SessionState> {
+        self.state.lock().expect("session cache lock poisoned")
+    }
+
+    /// Looks up / computes the prepared baseline for `circuit`, returning
+    /// it with a hit flag. Does not touch the stats counters — callers
+    /// attribute the hit/miss to the right request.
+    fn prepared_locked(
+        state: &mut SessionState,
+        circuit: &QuantumCircuit,
+    ) -> Result<(Arc<QuantumCircuit>, bool), PassError> {
+        let raw_hash = circuit.structural_hash();
+        if let Some(entry) = state
+            .prepared
+            .iter()
+            .find(|e| e.raw_hash == raw_hash && e.raw == *circuit)
+        {
+            return Ok((Arc::clone(&entry.prepared), true));
+        }
+        let prepared = Arc::new(optimize_without_routing(circuit)?);
+        state.prepared.push(PreparedEntry {
+            raw_hash,
+            raw: circuit.clone(),
+            prepared: Arc::clone(&prepared),
+        });
+        Ok((prepared, false))
+    }
+
+    /// Makes every cache decision for one job, updating that job's private
+    /// counters. Runs under the session lock.
+    fn resolve(
+        &self,
+        state: &mut SessionState,
+        index: usize,
+        circuit: &QuantumCircuit,
+        options: TranspileOptions,
+    ) -> Result<ResolvedJob, PassError> {
+        let mut stats = CacheStats::default();
+
+        let distances = match state
+            .distances
+            .lookup(&self.coupling, options.calibration.as_ref())
+        {
+            Some(cached) => {
+                stats.distance_hits += 1;
+                cached
+            }
+            None => {
+                stats.distance_misses += 1;
+                state
+                    .distances
+                    .get_or_compute(&self.coupling, options.calibration.as_ref())
+            }
+        };
+
+        let (prepared, prepared_hit) = Self::prepared_locked(state, circuit)?;
+        if prepared_hit {
+            stats.prepared_hits += 1;
+        } else {
+            stats.prepared_misses += 1;
+        }
+
+        let prepared_hash = prepared.structural_hash();
+        let cached_layout = state
+            .layouts
+            .iter()
+            .find(|e| {
+                e.prepared_hash == prepared_hash && e.options == options && *e.prepared == *prepared
+            })
+            .map(|e| {
+                (
+                    e.initial_layout.clone(),
+                    e.chosen_trial,
+                    e.trial_costs.clone(),
+                )
+            });
+        if cached_layout.is_some() {
+            stats.layout_hits += 1;
+        } else {
+            stats.layout_misses += 1;
+        }
+
+        Ok(ResolvedJob {
+            index,
+            options,
+            distances,
+            prepared,
+            cached_layout,
+            stats,
+        })
+    }
+
+    /// The lock-free tail of one job: warm jobs replay a single routing
+    /// pass from the cached layout, cold jobs run the full layout search.
+    fn run_resolved(
+        &self,
+        resolved: &ResolvedJob,
+        pool: &ThreadPool,
+    ) -> Result<TranspileResult, PassError> {
+        match &resolved.cached_layout {
+            Some((layout, chosen_trial, trial_costs)) => transpile_prepared_from_layout(
+                &resolved.prepared,
+                &self.coupling,
+                &resolved.distances,
+                &resolved.options,
+                layout,
+                *chosen_trial,
+                trial_costs.clone(),
+                pool,
+            ),
+            None => transpile_prepared_on_impl(
+                &resolved.prepared,
+                &self.coupling,
+                &resolved.distances,
+                &resolved.options,
+                pool,
+            ),
+        }
+    }
+
+    /// Rolls per-request counters into the session totals and memoizes the
+    /// layout winners cold jobs discovered. Insertion re-checks for an
+    /// existing entry so duplicate cold jobs in one batch stay idempotent.
+    fn commit(&self, resolved: &[ResolvedJob], results: &[Result<TranspileResult, PassError>]) {
+        let mut state = self.lock();
+        for job in resolved {
+            state.stats.accumulate(&job.stats);
+            if job.cached_layout.is_some() {
+                continue;
+            }
+            let Some(Ok(result)) = results.get(job.index) else {
+                continue;
+            };
+            let prepared_hash = job.prepared.structural_hash();
+            let exists = state.layouts.iter().any(|e| {
+                e.prepared_hash == prepared_hash
+                    && e.options == job.options
+                    && *e.prepared == *job.prepared
+            });
+            if !exists {
+                state.layouts.push(LayoutEntry {
+                    prepared_hash,
+                    prepared: Arc::clone(&job.prepared),
+                    options: job.options.clone(),
+                    initial_layout: result.initial_layout.clone(),
+                    chosen_trial: result.chosen_layout_trial,
+                    trial_costs: result.layout_trial_costs.clone(),
+                });
+            }
+        }
+    }
+}

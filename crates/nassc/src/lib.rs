@@ -4,45 +4,66 @@
 //!
 //! The heavy lifting lives in the sub-crates (re-exported below under short
 //! module names); this crate re-exports the handful of types that nearly
-//! every consumer needs — the [`transpile`] entry point and its batch
-//! counterpart [`transpile_batch`] (seed sweeps fanned across cores,
-//! bit-identical to serial), the [`TranspileOptions`]/[`RouterKind`]
-//! configuration, the [`OptimizationFlags`] controlling the Eq. 1–2 cost
-//! terms, and the no-routing baseline [`optimize_without_routing`].
+//! every consumer needs. The blessed entry point is the [`Transpiler`]
+//! session: constructed once per device, it owns the persistent worker
+//! budget and reuses distance matrices, prepared baselines and layout
+//! winners across requests ([`CacheStats`] reports the hit rates, and
+//! [`Error`] folds pass and QASM failures into one type for
+//! [`Transpiler::transpile_qasm`]). The pre-session free functions
+//! ([`transpile`], [`transpile_batch`], …) remain as deprecated shims with
+//! unchanged behavior — see the README's migration table.
 //!
 //! External OpenQASM 2.0 workloads enter and leave through the [`qasm`]
 //! namespace: `nassc::qasm::parse` lowers a `.qasm` source into a
-//! [`circuit::QuantumCircuit`], and `nassc::qasm::export` serializes any
+//! [`circuit::QuantumCircuit`] (or go straight through
+//! [`Transpiler::transpile_qasm`]), and `nassc::qasm::export` serializes any
 //! transpiled circuit back out (round-trip exact, float parameters
 //! included).
 //!
 //! # Example
 //!
 //! ```
-//! use nassc::{transpile, RouterKind, TranspileOptions};
+//! use nassc::{RouterKind, Transpiler, TranspileOptions};
 //! use nassc::circuit::QuantumCircuit;
 //! use nassc::topology::CouplingMap;
 //!
 //! let mut qc = QuantumCircuit::new(3);
 //! qc.cx(1, 2).cx(0, 1).cx(0, 2);
-//! let device = CouplingMap::linear(3);
-//! let result = transpile(&qc, &device, &TranspileOptions::nassc(7)).unwrap();
-//! assert_eq!(TranspileOptions::nassc(7).router, RouterKind::Nassc);
-//! assert!(result.cx_count() >= qc.cx_count());
+//!
+//! let session = Transpiler::new(
+//!     CouplingMap::linear(3),
+//!     TranspileOptions::new().router(RouterKind::Nassc).seed(7),
+//! );
+//! let cold = session.transpile(&qc).unwrap();
+//! let warm = session.transpile(&qc).unwrap(); // served from the caches
+//! assert_eq!(cold.circuit, warm.circuit);
+//! assert!(warm.cache.hits() > 0);
 //! ```
 
+// The deprecated pre-session entry points stay re-exported (and deprecated)
+// here so `use nassc::transpile` keeps compiling — with the deprecation
+// warning — until the shims are removed.
+#[allow(deprecated)]
 pub use nassc_core::{
-    decompose_swaps_fixed, distances_for, embed, evaluate_swap_reduction,
-    evaluate_swap_reduction_windowed, optimize_without_routing, transpile, transpile_batch,
-    transpile_batch_on, transpile_batch_prepared, transpile_batch_prepared_on, transpile_prepared,
-    transpile_prepared_on, transpile_with_distances, BatchJob, DistanceCache, NasscPolicy,
-    OptimizationFlags, RouterKind, SwapReduction, TranspileOptions, TranspileResult,
+    distances_for, transpile, transpile_batch, transpile_batch_on, transpile_batch_prepared,
+    transpile_batch_prepared_on, transpile_prepared, transpile_prepared_on,
+    transpile_with_distances,
 };
+
+pub use nassc_core::{
+    decompose_swaps_fixed, embed, evaluate_swap_reduction, evaluate_swap_reduction_windowed,
+    optimize_without_routing, BatchJob, CacheStats, DistanceCache, Error, NasscPolicy,
+    OptimizationFlags, RouterKind, SessionJob, TranspileOptions, TranspileResult, Transpiler,
+};
+
+// The persistent worker pool behind every `Transpiler` dispatch: the budget
+// handle plus the process-wide pool observability hooks.
+pub use nassc_parallel::{worker_pool_status, PoolStatus, ThreadPool};
 
 // The multi-trial layout subsystem (see `nassc::sabre::layout`): the engine,
 // its selection/outcome records and the deterministic seed splitter, surfaced
-// at the top level because `TranspileOptions::with_layout_trials` consumers
-// read its diagnostics.
+// at the top level because `TranspileOptions::new().layout_trials(n)`
+// consumers read its diagnostics.
 pub use nassc_sabre::{split_seed, LayoutSelection, LayoutTrials, RoutingState, TrialOutcome};
 
 // Sub-crate namespaces, so downstream code can write `nassc::circuit::...`

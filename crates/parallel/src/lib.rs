@@ -1,13 +1,25 @@
-//! A dependency-free scoped thread pool for embarrassingly parallel batches.
+//! A dependency-free persistent thread pool for embarrassingly parallel
+//! batches.
 //!
 //! The build environment has no access to crates.io (mirroring
 //! `crates/compat/`), so instead of `rayon` this crate provides the small
 //! slice of it the NASSC pipelines need: an order-preserving
-//! [`ThreadPool::map`] built on [`std::thread::scope`]. Workers draw job
-//! indices from an atomic counter and write results back into their original
-//! slot, so the output order — and therefore every downstream aggregate — is
-//! identical to a serial `Vec::into_iter().map(f).collect()`, regardless of
-//! how the OS schedules the workers.
+//! [`ThreadPool::map`]. Workers draw job indices from an atomic counter and
+//! write results back into their original slot, so the output order — and
+//! therefore every downstream aggregate — is identical to a serial
+//! `Vec::into_iter().map(f).collect()`, regardless of how the OS schedules
+//! the workers.
+//!
+//! Dispatch runs on a **process-wide persistent worker pool** (see
+//! [`pool`]): worker threads are spawned once, parked between calls, and
+//! shared by every [`ThreadPool`] handle. A handle is therefore just a
+//! concurrency *budget* — a `Copy` value bounding how many workers may join
+//! each of its dispatches — which is what lets a long-lived `Transpiler`
+//! session pay thread start-up once per process instead of once per call.
+//! The publishing caller always participates in its own batch, so nested
+//! dispatch (a batch job running layout trials running in-pass SWAP scoring)
+//! can never deadlock, and jobs may still borrow from the caller's stack:
+//! a dispatch blocks until its whole batch has completed.
 //!
 //! Worker count resolution (see [`default_parallelism`]): the
 //! `NASSC_THREADS` environment variable when set to a positive integer,
@@ -26,7 +38,10 @@
 //! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+pub mod pool;
+
+pub use pool::{worker_pool_status, PoolStatus, MAX_POOL_WORKERS};
+
 use std::sync::Mutex;
 
 /// Environment variable overriding the worker count picked by
@@ -69,12 +84,18 @@ fn hardware_parallelism() -> usize {
         .unwrap_or(1)
 }
 
-/// An order-preserving scoped thread pool.
+/// An order-preserving concurrency budget over the persistent worker pool.
 ///
-/// "Scoped" in the [`std::thread::scope`] sense: worker threads live only for
-/// the duration of one [`map`](Self::map) call, so jobs may freely borrow
-/// from the caller's stack (no `'static` bound). There is no persistent
-/// worker state to manage and nothing to shut down.
+/// A `ThreadPool` value is a cheap `Copy` handle: it owns no threads itself.
+/// Each [`map`](Self::map)/[`map_range`](Self::map_range) call publishes one
+/// batch to the process-wide [`pool`] and lets at most `threads - 1`
+/// persistent workers join the calling thread in draining it. There is no
+/// per-handle state to manage and nothing to shut down; workers are spawned
+/// lazily on first parallel dispatch and parked between calls.
+///
+/// Jobs may freely borrow from the caller's stack (no `'static` bound): a
+/// dispatch blocks until its whole batch has completed, exactly like the
+/// scoped-thread implementation it replaced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ThreadPool {
     threads: usize,
@@ -93,7 +114,8 @@ impl ThreadPool {
         Self::new(default_parallelism())
     }
 
-    /// The maximum number of workers this pool will spawn.
+    /// The maximum number of workers (caller included) that may run this
+    /// pool's jobs concurrently.
     pub fn threads(&self) -> usize {
         self.threads
     }
@@ -124,10 +146,9 @@ impl ThreadPool {
     /// Applies `f` to every item, returning results in input order.
     ///
     /// Equivalent to `items.into_iter().map(f).collect()` — including when a
-    /// job panics: the caller panics once all workers have stopped (with the
-    /// scope's "a scoped thread panicked" payload; the original message goes
-    /// to stderr). With one worker (or ≤ 1 item) no thread is spawned and
-    /// `f` runs on the caller's thread.
+    /// job panics: remaining jobs finish, then the caller panics with the
+    /// first job's original panic payload. With one worker (or ≤ 1 item) no
+    /// batch is published and `f` runs on the caller's thread.
     pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
     where
         T: Send,
@@ -168,26 +189,20 @@ impl ThreadPool {
         if self.threads == 1 || n <= 1 {
             return (0..n).map(f).collect();
         }
-        let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-        let workers = self.threads.min(n);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    if index >= n {
-                        break;
-                    }
-                    *slots[index].lock().expect("result slot poisoned") = Some(f(index));
-                });
-            }
-        });
+        let task = |index: usize| {
+            // Run the job before touching the slot, so a panicking job
+            // cannot poison its result mutex for the collection loop below.
+            let result = f(index);
+            *slots[index].lock().expect("result slot poisoned") = Some(result);
+        };
+        pool::run_batch(self.threads, n, &task);
         slots
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
                     .expect("result slot poisoned")
-                    .expect("every index stores a result before the scope ends")
+                    .expect("every index stores a result before the batch completes")
             })
             .collect()
     }
@@ -330,7 +345,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "a scoped thread panicked")]
+    #[should_panic(expected = "deliberate job panic")]
     fn job_panics_propagate_to_the_caller() {
         ThreadPool::new(4).map((0..8).collect::<Vec<usize>>(), |i| {
             if i == 5 {
@@ -338,5 +353,74 @@ mod tests {
             }
             i
         });
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_batch() {
+        // Persistent workers must outlive panicking jobs: a batch that
+        // panics is reported to its caller, and the very next dispatch on
+        // the same workers still completes normally.
+        let caught = std::panic::catch_unwind(|| {
+            ThreadPool::new(4).map_range(16, |i| {
+                if i == 3 {
+                    panic!("poisoned batch");
+                }
+                i
+            })
+        });
+        assert!(caught.is_err());
+        let got = ThreadPool::new(4).map_range(16, |i| i * 2);
+        assert_eq!(got, (0..16).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_dispatch_completes_without_deadlock() {
+        // Outer jobs publish inner batches while every worker may already be
+        // busy; caller participation guarantees progress. This mirrors the
+        // transpile pipeline's layout-trials → in-pass-scoring nesting.
+        let outer = ThreadPool::new(4);
+        let inner = ThreadPool::new(4);
+        let got = outer.map_range(8, |i| inner.map_range(8, |j| i * 8 + j));
+        let expected: Vec<Vec<usize>> = (0..8)
+            .map(|i| (0..8).map(|j| i * 8 + j).collect())
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn workers_persist_across_dispatches() {
+        // Two dispatches must not grow the pool past the first one's needs,
+        // and counters must advance: the whole point of the refactor.
+        let pool = ThreadPool::new(3);
+        pool.map_range(8, |i| i);
+        let after_first = worker_pool_status();
+        assert!(after_first.workers >= 2, "helpers spawned: {after_first:?}");
+        pool.map_range(8, |i| i);
+        let after_second = worker_pool_status();
+        assert_eq!(after_second.workers, after_first.workers);
+        assert!(after_second.batches_completed > after_first.batches_completed);
+        assert!(after_second.items_completed >= after_first.items_completed + 8);
+    }
+
+    #[test]
+    fn deep_nesting_with_skewed_budgets_completes() {
+        // Three levels of nesting with mismatched budgets — the worst case
+        // for a queue-based pool (every level blocks on the one below).
+        let got = ThreadPool::new(8).map_range(4, |i| {
+            ThreadPool::new(2).map_range(3, |j| {
+                ThreadPool::new(5)
+                    .map_range(4, |k| i * 100 + j * 10 + k)
+                    .into_iter()
+                    .sum::<usize>()
+            })
+        });
+        let expected: Vec<Vec<usize>> = (0..4)
+            .map(|i| {
+                (0..3)
+                    .map(|j| (0..4).map(|k| i * 100 + j * 10 + k).sum())
+                    .collect()
+            })
+            .collect();
+        assert_eq!(got, expected);
     }
 }

@@ -38,8 +38,8 @@ use crate::config::SabreConfig;
 use crate::state::RoutingState;
 
 /// Minimum number of SWAP candidates before a step's scoring is fanned
-/// across the score pool. Below this, scoped-thread dispatch costs more than
-/// the scores themselves; the threshold only redirects *where* scores are
+/// across the score pool. Below this, pool dispatch costs more than the
+/// scores themselves; the threshold only redirects *where* scores are
 /// computed, never what they are, so results do not depend on it.
 pub const PARALLEL_SCORE_THRESHOLD: usize = 8;
 
@@ -403,7 +403,7 @@ pub fn route_prepared<P: SwapPolicy + Sync>(
 
     // Reusable per-step scratch: with serial scoring, nothing below
     // allocates after warm-up (parallel dispatch additionally pays
-    // `map_range`'s result slots and scoped-thread spawns per step).
+    // `map_range`'s result slots and a pool batch per step).
     let mut next_ready: Vec<usize> = Vec::new();
     let mut front: Vec<usize> = Vec::new();
     let mut extended_scratch = ExtendedScratch::new(dag.num_nodes());

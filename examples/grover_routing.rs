@@ -3,39 +3,53 @@
 //!
 //! Run with: `cargo run --release --example grover_routing`
 
-use nassc::{optimize_without_routing, transpile, TranspileOptions};
+use nassc::{RouterKind, SessionJob, TranspileOptions, Transpiler};
 use nassc_benchmarks::grover;
 use nassc_topology::CouplingMap;
 
 fn main() {
     let circuit = grover(6);
-    let baseline = optimize_without_routing(&circuit).expect("baseline");
-    println!(
-        "Grover (6 qubits): {} CNOTs, depth {} before routing\n",
-        baseline.cx_count(),
-        baseline.depth()
-    );
 
     let devices = [
         ("ibmq_montreal (heavy-hex)", CouplingMap::ibmq_montreal()),
         ("25-qubit line", CouplingMap::linear(25)),
         ("5x5 grid", CouplingMap::grid(5, 5)),
     ];
+    let baseline = Transpiler::new(devices[0].1.clone(), TranspileOptions::new())
+        .prepared(&circuit)
+        .expect("baseline");
+    println!(
+        "Grover (6 qubits): {} CNOTs, depth {} before routing\n",
+        baseline.cx_count(),
+        baseline.depth()
+    );
+
     println!(
         "{:<28} {:>11} {:>11} {:>10}",
         "topology", "SABRE CNOTs", "NASSC CNOTs", "reduction"
     );
+    let runs = 3u64;
     for (name, device) in devices {
+        // One session per device; the whole seed × router grid goes through
+        // it as a single batch, fanned across the worker pool.
+        let session = Transpiler::new(device.clone(), TranspileOptions::new());
+        let mut jobs = Vec::new();
+        for seed in 0..runs {
+            jobs.push(SessionJob::with_options(
+                &circuit,
+                TranspileOptions::new().router(RouterKind::Sabre).seed(seed),
+            ));
+            jobs.push(SessionJob::with_options(
+                &circuit,
+                TranspileOptions::new().seed(seed),
+            ));
+        }
+        let results = session.transpile_jobs(&jobs);
         let mut sabre_cx = 0usize;
         let mut nassc_cx = 0usize;
-        let runs = 3;
-        for seed in 0..runs {
-            sabre_cx += transpile(&circuit, &device, &TranspileOptions::sabre(seed))
-                .expect("sabre")
-                .cx_count();
-            nassc_cx += transpile(&circuit, &device, &TranspileOptions::nassc(seed))
-                .expect("nassc")
-                .cx_count();
+        for pair in results.chunks_exact(2) {
+            sabre_cx += pair[0].as_ref().expect("sabre").cx_count();
+            nassc_cx += pair[1].as_ref().expect("nassc").cx_count();
         }
         let sabre_avg = sabre_cx as f64 / runs as f64;
         let nassc_avg = nassc_cx as f64 / runs as f64;

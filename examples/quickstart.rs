@@ -1,9 +1,10 @@
-//! Quickstart: build a circuit, transpile it with SABRE and with NASSC, and
-//! compare the CNOT overhead.
+//! Quickstart: build a circuit, open a [`Transpiler`] session for the
+//! device, transpile with SABRE and with NASSC, and compare the CNOT
+//! overhead.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use nassc::{optimize_without_routing, transpile, TranspileOptions};
+use nassc::{RouterKind, TranspileOptions, Transpiler};
 use nassc_circuit::QuantumCircuit;
 use nassc_topology::CouplingMap;
 
@@ -16,16 +17,23 @@ fn main() {
     }
     circuit.cx(0, 4).cx(1, 3).cx(0, 2);
 
-    let device = CouplingMap::linear(5);
-    let baseline = optimize_without_routing(&circuit).expect("baseline optimization");
+    // One session per device. Both routers share its caches: the pre-routing
+    // baseline is computed once and served back by `prepared`.
+    let session = Transpiler::new(CouplingMap::linear(5), TranspileOptions::new().seed(7));
+    let baseline = session.prepared(&circuit).expect("baseline optimization");
     println!(
         "original circuit: {} CNOTs, depth {}",
         baseline.cx_count(),
         baseline.depth()
     );
 
-    let sabre = transpile(&circuit, &device, &TranspileOptions::sabre(7)).expect("sabre");
-    let nassc = transpile(&circuit, &device, &TranspileOptions::nassc(7)).expect("nassc");
+    let sabre = session
+        .transpile_with(
+            &circuit,
+            &TranspileOptions::new().router(RouterKind::Sabre).seed(7),
+        )
+        .expect("sabre");
+    let nassc = session.transpile(&circuit).expect("nassc");
 
     println!(
         "Qiskit+SABRE : {} CNOTs ({} added), depth {}, {} SWAPs inserted",
@@ -44,5 +52,11 @@ fn main() {
     println!(
         "NASSC saves {} CNOTs on this routing problem.",
         sabre.cx_count().saturating_sub(nassc.cx_count())
+    );
+    let stats = session.cache_stats();
+    println!(
+        "session caches: {} hits, {} misses across both requests",
+        stats.hits(),
+        stats.misses()
     );
 }

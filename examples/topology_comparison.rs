@@ -5,16 +5,12 @@
 //!
 //! Run with: `cargo run --release --example topology_comparison`
 
-use nassc::{optimize_without_routing, transpile, TranspileOptions};
+use nassc::{RouterKind, TranspileOptions, Transpiler};
 use nassc_benchmarks::qft;
 use nassc_topology::CouplingMap;
 
 fn main() {
     let circuit = qft(10);
-    let baseline = optimize_without_routing(&circuit)
-        .expect("baseline")
-        .cx_count();
-    println!("QFT-10: {baseline} CNOTs before routing\n");
 
     let devices = [
         ("linear-16", CouplingMap::linear(16)),
@@ -23,13 +19,27 @@ fn main() {
         ("fully connected", CouplingMap::fully_connected(16)),
     ];
 
+    // A session is per-device; the device-independent pre-routing baseline
+    // still only costs once per session thanks to the prepared cache.
+    let baseline = Transpiler::new(devices[0].1.clone(), TranspileOptions::new())
+        .prepared(&circuit)
+        .expect("baseline")
+        .cx_count();
+    println!("QFT-10: {baseline} CNOTs before routing\n");
+
     println!(
         "{:<18} {:>9} {:>12} {:>12} {:>12}",
         "topology", "diameter", "SABRE added", "NASSC added", "NASSC gain"
     );
     for (name, device) in devices {
-        let sabre = transpile(&circuit, &device, &TranspileOptions::sabre(5)).expect("sabre");
-        let nassc = transpile(&circuit, &device, &TranspileOptions::nassc(5)).expect("nassc");
+        let session = Transpiler::new(device.clone(), TranspileOptions::new().seed(5));
+        let sabre = session
+            .transpile_with(
+                &circuit,
+                &TranspileOptions::new().router(RouterKind::Sabre).seed(5),
+            )
+            .expect("sabre");
+        let nassc = session.transpile(&circuit).expect("nassc");
         let sabre_add = sabre.cx_count().saturating_sub(baseline);
         let nassc_add = nassc.cx_count().saturating_sub(baseline);
         let gain = if sabre_add == 0 {

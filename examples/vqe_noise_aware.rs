@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example vqe_noise_aware`
 
-use nassc::{transpile, TranspileOptions};
+use nassc::{RouterKind, TranspileOptions, Transpiler};
 use nassc_benchmarks::bernstein_vazirani;
 use nassc_sim::{success_rate, NoiseModel};
 use nassc_topology::{Calibration, CouplingMap};
@@ -18,25 +18,30 @@ fn main() {
     let shots = 2048;
 
     let variants = [
-        ("SABRE", TranspileOptions::sabre(3)),
-        ("NASSC", TranspileOptions::nassc(3)),
+        ("SABRE", TranspileOptions::new().router(RouterKind::Sabre)),
+        ("NASSC", TranspileOptions::new()),
         (
             "SABRE+HA",
-            TranspileOptions::sabre(3).with_calibration(calibration.clone()),
+            TranspileOptions::new()
+                .router(RouterKind::Sabre)
+                .calibration(calibration.clone()),
         ),
-        (
-            "NASSC+HA",
-            TranspileOptions::nassc(3).with_calibration(calibration),
-        ),
+        ("NASSC+HA", TranspileOptions::new().calibration(calibration)),
     ];
 
+    // One session serves all four variants: the baseline is prepared once,
+    // and the distance cache holds one matrix per calibration (the plain
+    // hop-count one and the noise-aware one of the +HA variants).
+    let session = Transpiler::new(device.clone(), TranspileOptions::new().seed(3));
     println!("Bernstein-Vazirani (5 qubits) on ibmq_montreal, {shots} shots\n");
     println!(
         "{:<10} {:>7} {:>7} {:>13}",
         "router", "CNOTs", "depth", "success rate"
     );
     for (name, options) in variants {
-        let result = transpile(&circuit, &device, &options).expect("transpile");
+        let result = session
+            .transpile_with(&circuit, &options.seed(3))
+            .expect("transpile");
         let rate = success_rate(&result.circuit, &noise, shots, 7);
         println!(
             "{:<10} {:>7} {:>7} {:>12.1}%",
@@ -46,4 +51,11 @@ fn main() {
             100.0 * rate
         );
     }
+    let stats = session.cache_stats();
+    println!(
+        "\nsession caches: {} hits, {} misses (distance matrices: {} built)",
+        stats.hits(),
+        stats.misses(),
+        stats.distance_misses
+    );
 }

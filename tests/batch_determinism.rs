@@ -2,6 +2,12 @@
 //! corresponding serial `transpile` calls gate-for-gate, layout-for-layout,
 //! at every worker count.
 
+// This file deliberately exercises the deprecated pre-session free
+// functions: it pins the legacy entry points' behavior (the contract the
+// `Transpiler` session must keep matching) until the shims are removed.
+// New coverage belongs in `transpiler_session_determinism.rs`.
+#![allow(deprecated)]
+
 use nassc::parallel::ThreadPool;
 use nassc::{
     transpile, transpile_batch, transpile_batch_on, BatchJob, TranspileOptions, TranspileResult,

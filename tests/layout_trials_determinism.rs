@@ -3,6 +3,12 @@
 //! single-trial compatibility mode and multi-trial selection, and trial
 //! selection is reproducible with deterministic lowest-index tie-breaking.
 
+// This file deliberately exercises the deprecated pre-session free
+// functions: it pins the legacy entry points' behavior (the contract the
+// `Transpiler` session must keep matching) until the shims are removed.
+// New coverage belongs in `transpiler_session_determinism.rs`.
+#![allow(deprecated)]
+
 use nassc::circuit::QuantumCircuit;
 use nassc::parallel::ThreadPool;
 use nassc::sabre::{route_with_policy_on, SabreConfig, SabrePolicy};

@@ -2,6 +2,12 @@
 //! semantically equivalent through synthesis, optimization and routing, and
 //! structural invariants (coupling compliance, CNOT-cost bounds) always hold.
 
+// This file deliberately exercises the deprecated pre-session free
+// functions: it pins the legacy entry points' behavior (the contract the
+// `Transpiler` session must keep matching) until the shims are removed.
+// New coverage belongs in `transpiler_session_determinism.rs`.
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 
 use nassc::{transpile, TranspileOptions};

@@ -6,6 +6,12 @@
 //! cannot race a concurrent reader (the same isolation pattern as
 //! `layout_trials_determinism.rs`).
 
+// This file deliberately exercises the deprecated pre-session free
+// functions: it pins the legacy entry points' behavior (the contract the
+// `Transpiler` session must keep matching) until the shims are removed.
+// New coverage belongs in `transpiler_session_determinism.rs`.
+#![allow(deprecated)]
+
 use std::path::PathBuf;
 
 use nassc::qasm;

@@ -2,6 +2,12 @@
 //! semantics, respect the coupling map, and NASSC never loses to SABRE on
 //! CNOT overhead by more than seed noise.
 
+// This file deliberately exercises the deprecated pre-session free
+// functions: it pins the legacy entry points' behavior (the contract the
+// `Transpiler` session must keep matching) until the shims are removed.
+// New coverage belongs in `transpiler_session_determinism.rs`.
+#![allow(deprecated)]
+
 use nassc::{optimize_without_routing, transpile, OptimizationFlags, TranspileOptions};
 use nassc_benchmarks::{adder, bernstein_vazirani, grover, qft, qpe, vqe};
 use nassc_circuit::{circuit_unitary, QuantumCircuit};
