@@ -36,42 +36,22 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use nassc::qasm;
-use nassc::{RouterKind, TranspileOptions, Transpiler};
+use nassc::{Device, RouterKind, TranspileOptions, Transpiler};
 use nassc_bench::{
     cli_usize, cli_value, cnot_report, compare_suite_on, print_cnot_table, total_transpile_seconds,
     BenchReport, ReportRow, BASE_SEED,
 };
 use nassc_benchmarks::Benchmark;
-use nassc_topology::CouplingMap;
 
-/// Parses `--device` into a coupling map.
-fn device_from_args() -> CouplingMap {
+/// Parses `--device` into a [`Device`] via its [`FromStr`](std::str::FromStr)
+/// impl — the same parser (and the same error message) the `nassc-serve`
+/// daemon uses for its device config.
+fn device_from_args() -> Device {
     let spec = cli_value("--device").unwrap_or_else(|| "montreal".to_string());
-    match spec.as_str() {
-        "montreal" => CouplingMap::ibmq_montreal(),
-        other => {
-            if let Some(n) = other.strip_prefix("linear:") {
-                if let Ok(n) = n.parse::<usize>() {
-                    if n >= 2 {
-                        return CouplingMap::linear(n);
-                    }
-                }
-            }
-            if let Some(dims) = other.strip_prefix("grid:") {
-                if let Some((rows, cols)) = dims.split_once('x') {
-                    if let (Ok(rows), Ok(cols)) = (rows.parse::<usize>(), cols.parse::<usize>()) {
-                        if rows * cols >= 2 {
-                            return CouplingMap::grid(rows, cols);
-                        }
-                    }
-                }
-            }
-            eprintln!(
-                "error: --device expects montreal, linear:<n> or grid:<rows>x<cols>, got {other:?}"
-            );
-            std::process::exit(1);
-        }
-    }
+    spec.parse().unwrap_or_else(|e| {
+        eprintln!("error: --device: {e}");
+        std::process::exit(1);
+    })
 }
 
 /// Parses `--router` into a router kind (single-circuit mode only; corpus
@@ -145,7 +125,7 @@ fn main() -> ExitCode {
 
 /// Single-circuit mode: file/stdin in, transpiled QASM out.
 fn single_mode(
-    device: &CouplingMap,
+    device: &Device,
     router: RouterKind,
     layout_trials: usize,
     json: Option<PathBuf>,
@@ -269,7 +249,7 @@ fn single_mode(
 /// Corpus mode: the whole directory through the batch comparison grid.
 fn corpus_mode(
     dir: &Path,
-    device: &CouplingMap,
+    device: &Device,
     runs: usize,
     layout_trials: usize,
     json: Option<PathBuf>,

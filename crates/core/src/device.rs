@@ -1,0 +1,258 @@
+//! The first-class [`Device`] type: a named target a [`Transpiler`] session
+//! is constructed for.
+//!
+//! Before this type existed, "the device" was a bare [`CouplingMap`] plus an
+//! optional [`Calibration`] smuggled through [`TranspileOptions`], and every
+//! front end (the `transpile_qasm` CLI, now the `nassc-serve` daemon) grew
+//! its own string parser for `montreal` / `linear:<n>` / `grid:<r>x<c>`.
+//! [`Device`] owns all three pieces — a stable name, the coupling map and the
+//! calibration — and implements [`FromStr`] once, so the CLI and the daemon
+//! share a single parser with a single error message.
+//!
+//! [`Transpiler::new`] takes `impl Into<Device>`; [`From<CouplingMap>`] keeps
+//! every existing `Transpiler::new(coupling, options)` call site compiling
+//! unchanged.
+//!
+//! [`Transpiler`]: crate::session::Transpiler
+//! [`Transpiler::new`]: crate::session::Transpiler::new
+//! [`TranspileOptions`]: crate::pipeline::TranspileOptions
+
+use std::fmt;
+use std::str::FromStr;
+
+use nassc_topology::{Calibration, CouplingMap};
+
+/// A transpilation target: a named coupling map plus optional calibration.
+///
+/// Constructors cover the devices of the paper's evaluation
+/// ([`montreal`](Self::montreal), [`linear`](Self::linear),
+/// [`grid`](Self::grid)); [`FromStr`] accepts the same specs every CLI flag
+/// and daemon config uses (`montreal`, `linear:<n>`, `grid:<rows>x<cols>`).
+///
+/// # Example
+///
+/// ```
+/// use nassc_core::Device;
+///
+/// let device: Device = "grid:3x4".parse().unwrap();
+/// assert_eq!(device.name(), "grid:3x4");
+/// assert_eq!(device.num_qubits(), 12);
+/// assert!("grid:3".parse::<Device>().is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Device {
+    name: String,
+    coupling: CouplingMap,
+    calibration: Option<Calibration>,
+}
+
+impl Device {
+    /// A device with an explicit name and coupling map (no calibration).
+    pub fn new(name: impl Into<String>, coupling: CouplingMap) -> Self {
+        Self {
+            name: name.into(),
+            coupling,
+            calibration: None,
+        }
+    }
+
+    /// The 27-qubit heavy-hex `ibmq_montreal` device of the paper's
+    /// evaluation.
+    pub fn montreal() -> Self {
+        Self::new("montreal", CouplingMap::ibmq_montreal())
+    }
+
+    /// A 1-D nearest-neighbour chain of `n` qubits (`n >= 2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n < 2` — a routing target needs at least one edge. The
+    /// [`FromStr`] path reports the same constraint as an error instead.
+    pub fn linear(n: usize) -> Self {
+        assert!(n >= 2, "a linear device needs at least 2 qubits, got {n}");
+        Self::new(format!("linear:{n}"), CouplingMap::linear(n))
+    }
+
+    /// A `rows × cols` 2-D grid (`rows * cols >= 2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rows * cols < 2` — a routing target needs at least one
+    /// edge. The [`FromStr`] path reports the same constraint as an error
+    /// instead.
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        assert!(
+            rows * cols >= 2,
+            "a grid device needs at least 2 qubits, got {rows}x{cols}"
+        );
+        Self::new(format!("grid:{rows}x{cols}"), CouplingMap::grid(rows, cols))
+    }
+
+    /// Attaches calibration data (builder style). A [`Transpiler`] built
+    /// from a calibrated device routes on the noise-aware distance matrix by
+    /// default (unless its options already carry a calibration).
+    ///
+    /// [`Transpiler`]: crate::session::Transpiler
+    #[must_use]
+    pub fn with_calibration(mut self, calibration: Calibration) -> Self {
+        self.calibration = Some(calibration);
+        self
+    }
+
+    /// The device's stable name (what the daemon's device registry and the
+    /// `--device` flag key on).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The qubit-connectivity graph.
+    pub fn coupling(&self) -> &CouplingMap {
+        &self.coupling
+    }
+
+    /// The calibration data, when the device carries any.
+    pub fn calibration(&self) -> Option<&Calibration> {
+        self.calibration.as_ref()
+    }
+
+    /// The number of physical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.coupling.num_qubits()
+    }
+}
+
+impl From<CouplingMap> for Device {
+    /// An anonymous device around a bare coupling map — the compatibility
+    /// path keeping `Transpiler::new(coupling, options)` call sites working.
+    fn from(coupling: CouplingMap) -> Self {
+        let name = format!("custom:{}q", coupling.num_qubits());
+        Self::new(name, coupling)
+    }
+}
+
+impl fmt::Display for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} qubits)", self.name, self.num_qubits())
+    }
+}
+
+/// The error of [`Device::from_str`]: one canonical message shared by every
+/// front end that parses device specs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceParseError {
+    spec: String,
+}
+
+impl DeviceParseError {
+    /// The rejected spec string.
+    pub fn spec(&self) -> &str {
+        &self.spec
+    }
+}
+
+impl fmt::Display for DeviceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid device {:?}: expected montreal, linear:<n> (n >= 2) \
+             or grid:<rows>x<cols> (rows*cols >= 2)",
+            self.spec
+        )
+    }
+}
+
+impl std::error::Error for DeviceParseError {}
+
+impl FromStr for Device {
+    type Err = DeviceParseError;
+
+    /// Parses `montreal`, `linear:<n>` (`n >= 2`) or `grid:<rows>x<cols>`
+    /// (`rows * cols >= 2`).
+    fn from_str(spec: &str) -> Result<Self, Self::Err> {
+        let reject = || DeviceParseError {
+            spec: spec.to_string(),
+        };
+        if spec == "montreal" {
+            return Ok(Self::montreal());
+        }
+        if let Some(n) = spec.strip_prefix("linear:") {
+            let n: usize = n.parse().map_err(|_| reject())?;
+            if n < 2 {
+                return Err(reject());
+            }
+            return Ok(Self::linear(n));
+        }
+        if let Some(dims) = spec.strip_prefix("grid:") {
+            let (rows, cols) = dims.split_once('x').ok_or_else(reject)?;
+            let rows: usize = rows.parse().map_err(|_| reject())?;
+            let cols: usize = cols.parse().map_err(|_| reject())?;
+            if rows * cols < 2 {
+                return Err(reject());
+            }
+            return Ok(Self::grid(rows, cols));
+        }
+        Err(reject())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_constructors_match_their_coupling_maps() {
+        assert_eq!(*Device::montreal().coupling(), CouplingMap::ibmq_montreal());
+        assert_eq!(*Device::linear(5).coupling(), CouplingMap::linear(5));
+        assert_eq!(*Device::grid(3, 4).coupling(), CouplingMap::grid(3, 4));
+        assert_eq!(Device::montreal().num_qubits(), 27);
+        assert_eq!(Device::grid(3, 4).name(), "grid:3x4");
+    }
+
+    #[test]
+    fn from_str_round_trips_every_named_spec() {
+        for spec in ["montreal", "linear:2", "linear:25", "grid:5x5", "grid:1x2"] {
+            let device: Device = spec.parse().unwrap();
+            assert_eq!(device.name(), spec);
+            // The name re-parses to the same device.
+            assert_eq!(device.name().parse::<Device>().unwrap(), device);
+        }
+    }
+
+    #[test]
+    fn from_str_rejects_malformed_specs_with_one_message() {
+        for spec in [
+            "",
+            "Montreal",
+            "linear",
+            "linear:",
+            "linear:1",
+            "linear:x",
+            "grid:",
+            "grid:3",
+            "grid:3x",
+            "grid:0x1",
+            "grid:ax b",
+            "torus:3x3",
+        ] {
+            let err = spec.parse::<Device>().unwrap_err();
+            assert_eq!(err.spec(), spec);
+            assert!(err.to_string().contains("expected montreal"), "{err}");
+        }
+    }
+
+    #[test]
+    fn coupling_map_converts_to_anonymous_device() {
+        let device: Device = CouplingMap::linear(7).into();
+        assert_eq!(device.name(), "custom:7q");
+        assert_eq!(device.num_qubits(), 7);
+        assert!(device.calibration().is_none());
+    }
+
+    #[test]
+    fn calibration_attaches() {
+        let device = Device::montreal();
+        let cal = Calibration::synthetic(device.coupling(), 5);
+        let device = device.with_calibration(cal.clone());
+        assert_eq!(device.calibration(), Some(&cal));
+    }
+}

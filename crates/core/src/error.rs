@@ -1,11 +1,17 @@
-//! The consolidated error type of the session API.
+//! The consolidated error taxonomy of the session API.
 //!
-//! The transpilation stack has two failure domains: optimization passes
-//! ([`PassError`], from `nassc-passes`) and OpenQASM parsing/export
-//! ([`QasmError`], from `nassc-qasm`). Callers driving circuits through the
-//! [`Transpiler`] from QASM source used to match both; [`Error`] wraps them
-//! behind one `std::error::Error` so `Transpiler::transpile_qasm` — and any
-//! future service front end — returns a single type that `?` converts into.
+//! The transpilation stack has three failure domains: OpenQASM
+//! parsing/export ([`QasmError`], from `nassc-qasm`), capacity — a circuit
+//! wider than the session's device ([`Error::TooWide`]) — and optimization
+//! passes ([`PassError`], from `nassc-passes`). Callers driving circuits
+//! through the [`Transpiler`] from QASM source used to match the first and
+//! last; [`Error`] wraps all three behind one `std::error::Error` so
+//! `Transpiler::transpile_qasm` — and the `nassc-serve` daemon on top of it
+//! — returns a single type that `?` converts into.
+//!
+//! Service front ends should branch on [`Error::kind`], the stable
+//! classification, rather than on display strings: the daemon derives its
+//! HTTP statuses from it (parse → 400, too wide → 422, pass → 500).
 //!
 //! [`Transpiler`]: crate::session::Transpiler
 
@@ -14,14 +20,57 @@ use std::fmt;
 use nassc_passes::PassError;
 use nassc_qasm::QasmError;
 
-/// Any error the session API can produce: a failed optimization pass or a
-/// QASM parse/export failure.
+/// The stable classification of an [`Error`], decoupled from the carried
+/// payload so wire protocols can map errors without string matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// The input did not parse as OpenQASM (caller's fault: malformed
+    /// request → HTTP 400).
+    Parse,
+    /// The circuit parsed but needs more qubits than the device has
+    /// (caller's fault, but well-formed: unprocessable → HTTP 422).
+    TooWide,
+    /// An optimization or layout pass failed (our fault: internal error →
+    /// HTTP 500).
+    Pass,
+}
+
+/// Any error the session API can produce: a QASM parse/export failure, a
+/// circuit too wide for the device, or a failed optimization pass.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Error {
     /// An optimization or layout pass failed.
     Pass(PassError),
     /// OpenQASM parsing or export failed.
     Qasm(QasmError),
+    /// The circuit needs more qubits than the session's device has.
+    TooWide {
+        /// Qubits the circuit declares.
+        circuit_qubits: usize,
+        /// Qubits the device provides.
+        device_qubits: usize,
+    },
+}
+
+impl Error {
+    /// A [`TooWide`](Self::TooWide) error for a circuit of `circuit_qubits`
+    /// against a device of `device_qubits`.
+    pub fn too_wide(circuit_qubits: usize, device_qubits: usize) -> Self {
+        Error::TooWide {
+            circuit_qubits,
+            device_qubits,
+        }
+    }
+
+    /// The stable classification of this error — what service front ends
+    /// should branch on (the daemon maps it to HTTP statuses).
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            Error::Pass(_) => ErrorKind::Pass,
+            Error::Qasm(_) => ErrorKind::Parse,
+            Error::TooWide { .. } => ErrorKind::TooWide,
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -29,6 +78,13 @@ impl fmt::Display for Error {
         match self {
             Error::Pass(e) => e.fmt(f),
             Error::Qasm(e) => e.fmt(f),
+            Error::TooWide {
+                circuit_qubits,
+                device_qubits,
+            } => write!(
+                f,
+                "circuit needs {circuit_qubits} qubits but the device has {device_qubits}"
+            ),
         }
     }
 }
@@ -38,6 +94,7 @@ impl std::error::Error for Error {
         match self {
             Error::Pass(e) => Some(e),
             Error::Qasm(e) => Some(e),
+            Error::TooWide { .. } => None,
         }
     }
 }
@@ -72,5 +129,25 @@ mod tests {
             qasm.to_string(),
             QasmError::at(3, "bad register").to_string()
         );
+    }
+
+    #[test]
+    fn kind_classifies_every_variant() {
+        let pass: Error = PassError::new("unroll", "unknown gate").into();
+        let qasm: Error = QasmError::at(3, "bad register").into();
+        let wide = Error::too_wide(30, 27);
+        assert_eq!(pass.kind(), ErrorKind::Pass);
+        assert_eq!(qasm.kind(), ErrorKind::Parse);
+        assert_eq!(wide.kind(), ErrorKind::TooWide);
+    }
+
+    #[test]
+    fn too_wide_names_both_counts_and_has_no_source() {
+        let wide = Error::too_wide(30, 27);
+        assert_eq!(
+            wide.to_string(),
+            "circuit needs 30 qubits but the device has 27"
+        );
+        assert!(std::error::Error::source(&wide).is_none());
     }
 }

@@ -52,6 +52,7 @@
 
 pub mod batch;
 pub mod cost;
+pub mod device;
 pub mod error;
 pub mod pipeline;
 pub mod policy;
@@ -65,7 +66,8 @@ pub use batch::{BatchJob, DistanceCache};
 pub use cost::{
     evaluate_swap_reduction, evaluate_swap_reduction_windowed, OptimizationFlags, SwapReduction,
 };
-pub use error::Error;
+pub use device::{Device, DeviceParseError};
+pub use error::{Error, ErrorKind};
 pub use pipeline::{
     decompose_swaps_fixed, embed, optimize_without_routing, RouterKind, TranspileOptions,
     TranspileResult,

@@ -45,6 +45,7 @@ use nassc_passes::PassError;
 use nassc_topology::{CouplingMap, DistanceMatrix, Layout};
 
 use crate::batch::DistanceCache;
+use crate::device::Device;
 use crate::error::Error;
 use crate::pipeline::{
     optimize_without_routing, transpile_prepared_from_layout, transpile_prepared_on_impl,
@@ -192,7 +193,7 @@ struct ResolvedJob {
 /// assert_eq!(warm.cache.hits(), 3); // distances, baseline, layout
 /// ```
 pub struct Transpiler {
-    coupling: CouplingMap,
+    device: Device,
     options: TranspileOptions,
     pool: ThreadPool,
     state: Mutex<SessionState>,
@@ -201,7 +202,7 @@ pub struct Transpiler {
 impl std::fmt::Debug for Transpiler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Transpiler")
-            .field("coupling", &self.coupling)
+            .field("device", &self.device)
             .field("options", &self.options)
             .field("pool", &self.pool)
             .field("cache_stats", &self.cache_stats())
@@ -210,13 +211,22 @@ impl std::fmt::Debug for Transpiler {
 }
 
 impl Transpiler {
-    /// A session for `coupling` with the given default options (the device
-    /// calibration, if any, travels in `options.calibration`). The worker
-    /// budget defaults to [`ThreadPool::with_default_parallelism`]
-    /// (`NASSC_THREADS` applies).
-    pub fn new(coupling: CouplingMap, options: TranspileOptions) -> Self {
+    /// A session for `device` with the given default options. Anything that
+    /// converts into a [`Device`] is accepted — a bare [`CouplingMap`] keeps
+    /// working via `From` (it becomes an anonymous device). When the device
+    /// carries a [`Device::calibration`] and `options` does not, the
+    /// device's calibration becomes the session default, so a calibrated
+    /// device routes noise-aware out of the box. The worker budget defaults
+    /// to [`ThreadPool::with_default_parallelism`] (`NASSC_THREADS`
+    /// applies).
+    pub fn new(device: impl Into<Device>, options: TranspileOptions) -> Self {
+        let device = device.into();
+        let mut options = options;
+        if options.calibration.is_none() {
+            options.calibration = device.calibration().cloned();
+        }
         Self {
-            coupling,
+            device,
             options,
             pool: ThreadPool::with_default_parallelism(),
             state: Mutex::new(SessionState::default()),
@@ -231,8 +241,14 @@ impl Transpiler {
     }
 
     /// The device this session transpiles onto.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The coupling map of [`device`](Self::device) (convenience accessor
+    /// predating the [`Device`] type).
     pub fn coupling(&self) -> &CouplingMap {
-        &self.coupling
+        self.device.coupling()
     }
 
     /// The session's default options.
@@ -338,16 +354,51 @@ impl Transpiler {
     }
 
     /// Transpiles OpenQASM 2.0 source under the session's default options:
-    /// parse, then [`transpile`](Self::transpile), with both failure domains
-    /// folded into one [`Error`].
+    /// parse, capacity-check, then [`transpile`](Self::transpile), with
+    /// every failure domain folded into one [`Error`] (branch on
+    /// [`Error::kind`]).
     ///
     /// # Errors
     ///
-    /// [`Error::Qasm`] when the source does not parse, [`Error::Pass`] when
-    /// an optimization pass fails.
+    /// [`Error::Qasm`] when the source does not parse, [`Error::TooWide`]
+    /// when the circuit needs more qubits than the device has,
+    /// [`Error::Pass`] when an optimization pass fails.
     pub fn transpile_qasm(&self, source: &str) -> Result<TranspileResult, Error> {
+        self.transpile_qasm_with(source, &self.options)
+    }
+
+    /// [`transpile_qasm`](Self::transpile_qasm) with per-request options —
+    /// what the `nassc-serve` daemon calls for requests overriding the
+    /// session defaults (router, seed, layout trials).
+    ///
+    /// # Errors
+    ///
+    /// As [`transpile_qasm`](Self::transpile_qasm).
+    pub fn transpile_qasm_with(
+        &self,
+        source: &str,
+        options: &TranspileOptions,
+    ) -> Result<TranspileResult, Error> {
         let circuit = nassc_qasm::parse(source)?;
-        Ok(self.transpile(&circuit)?)
+        self.check_fits(&circuit)?;
+        Ok(self.transpile_with(&circuit, options)?)
+    }
+
+    /// Checks that `circuit` fits on the session's device; routing a wider
+    /// circuit would panic deep inside layout instead of failing cleanly.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::TooWide`] when the circuit declares more qubits than the
+    /// device has.
+    pub fn check_fits(&self, circuit: &QuantumCircuit) -> Result<(), Error> {
+        if circuit.num_qubits() > self.device.num_qubits() {
+            return Err(Error::too_wide(
+                circuit.num_qubits(),
+                self.device.num_qubits(),
+            ));
+        }
+        Ok(())
     }
 
     /// The prepared pre-routing baseline of `circuit` (what
@@ -410,7 +461,7 @@ impl Transpiler {
 
         let distances = match state
             .distances
-            .lookup(&self.coupling, options.calibration.as_ref())
+            .lookup(self.device.coupling(), options.calibration.as_ref())
         {
             Some(cached) => {
                 stats.distance_hits += 1;
@@ -420,7 +471,7 @@ impl Transpiler {
                 stats.distance_misses += 1;
                 state
                     .distances
-                    .get_or_compute(&self.coupling, options.calibration.as_ref())
+                    .get_or_compute(self.device.coupling(), options.calibration.as_ref())
             }
         };
 
@@ -471,7 +522,7 @@ impl Transpiler {
         match &resolved.cached_layout {
             Some((layout, chosen_trial, trial_costs)) => transpile_prepared_from_layout(
                 &resolved.prepared,
-                &self.coupling,
+                self.device.coupling(),
                 &resolved.distances,
                 &resolved.options,
                 layout,
@@ -481,7 +532,7 @@ impl Transpiler {
             ),
             None => transpile_prepared_on_impl(
                 &resolved.prepared,
-                &self.coupling,
+                self.device.coupling(),
                 &resolved.distances,
                 &resolved.options,
                 pool,

@@ -52,8 +52,9 @@ pub use nassc_core::{
 
 pub use nassc_core::{
     decompose_swaps_fixed, embed, evaluate_swap_reduction, evaluate_swap_reduction_windowed,
-    optimize_without_routing, BatchJob, CacheStats, DistanceCache, Error, NasscPolicy,
-    OptimizationFlags, RouterKind, SessionJob, TranspileOptions, TranspileResult, Transpiler,
+    optimize_without_routing, BatchJob, CacheStats, Device, DeviceParseError, DistanceCache, Error,
+    ErrorKind, NasscPolicy, OptimizationFlags, RouterKind, SessionJob, TranspileOptions,
+    TranspileResult, Transpiler,
 };
 
 // The persistent worker pool behind every `Transpiler` dispatch: the budget

@@ -1,0 +1,98 @@
+//! The determinism contract under concurrency: one `Arc<Transpiler>`
+//! hammered by 8 client threads over the committed QASM corpus must produce
+//! exactly what a serial replay on a fresh session produces — bit-identical
+//! circuits, independent of interleaving, cache temperature or which thread
+//! warms which cache. This is the invariant the `nassc-serve` daemon's
+//! correctness rests on.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use nassc::{qasm, Device, TranspileOptions, Transpiler};
+
+const CLIENT_THREADS: usize = 8;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../benchmarks/qasm")
+}
+
+/// Loads the corpus sources that fit the device, sorted by name.
+fn corpus_sources(device: &Device) -> Vec<(String, String)> {
+    let corpus = qasm::load_corpus(&corpus_dir()).expect("reading the committed corpus");
+    assert!(!corpus.is_empty(), "committed corpus must not be empty");
+    corpus
+        .into_iter()
+        .filter_map(|file| {
+            let circuit = file.circuit.expect("committed corpus parses");
+            if circuit.num_qubits() > device.num_qubits() {
+                return None;
+            }
+            let source = std::fs::read_to_string(&file.path).expect("reading corpus file");
+            Some((file.name, source))
+        })
+        .collect()
+}
+
+#[test]
+fn eight_threads_sharing_one_session_match_serial_replay() {
+    let device = Device::montreal();
+    let sources = corpus_sources(&device);
+
+    // Serial replay on a fresh session: the reference answers.
+    let serial = Transpiler::new(device.clone(), TranspileOptions::new());
+    let reference: Vec<String> = sources
+        .iter()
+        .map(|(name, source)| {
+            let result = serial
+                .transpile_qasm(source)
+                .unwrap_or_else(|e| panic!("serial transpile of {name}: {e}"));
+            qasm::export(&result.circuit).expect("export")
+        })
+        .collect();
+
+    // 8 threads share one session. Each walks the corpus at a different
+    // starting offset so the threads interleave different circuits and no
+    // thread deterministically warms the caches for the others.
+    let shared = Arc::new(Transpiler::new(device, TranspileOptions::new()));
+    let sources = Arc::new(sources);
+    let reference = Arc::new(reference);
+    let handles: Vec<_> = (0..CLIENT_THREADS)
+        .map(|thread| {
+            let shared = Arc::clone(&shared);
+            let sources = Arc::clone(&sources);
+            let reference = Arc::clone(&reference);
+            std::thread::spawn(move || {
+                for step in 0..sources.len() {
+                    let index = (thread + step) % sources.len();
+                    let (name, source) = &sources[index];
+                    let result = shared
+                        .transpile_qasm(source)
+                        .unwrap_or_else(|e| panic!("thread {thread}: {name}: {e}"));
+                    let exported = qasm::export(&result.circuit).expect("export");
+                    assert_eq!(
+                        exported, reference[index],
+                        "thread {thread}: {name} diverged from the serial replay"
+                    );
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("client thread panicked");
+    }
+
+    // Cache-stat sanity: threads racing on a cold cache may each count a
+    // first-touch miss for the same entry (the results are still identical),
+    // so the shared session's misses are bounded below by the serial
+    // session's — and the bulk of the 8×13 requests must have been hits.
+    let serial_stats = serial.cache_stats();
+    let shared_stats = shared.cache_stats();
+    assert!(shared_stats.misses() >= serial_stats.misses());
+    assert!(
+        shared_stats.hits() > shared_stats.misses(),
+        "concurrent replays must be served mostly from the shared caches \
+         (hits {}, misses {})",
+        shared_stats.hits(),
+        shared_stats.misses()
+    );
+}

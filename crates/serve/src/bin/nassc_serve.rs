@@ -1,0 +1,88 @@
+//! The `nassc-serve` daemon binary.
+//!
+//! ```text
+//! nassc-serve --addr 127.0.0.1:7878 --device montreal --device linear:16 \
+//!             --workers 4 --queue-depth 64 --timeout-ms 60000
+//! ```
+//!
+//! Every `--device <spec>` adds a served device (specs as accepted by
+//! `Device::from_str`: `montreal`, `linear:<n>`, `grid:<rows>x<cols>`); the
+//! first one is the default for requests without `?device=`. SIGINT/SIGTERM
+//! drain in-flight requests before exit.
+
+use std::process::ExitCode;
+
+use nassc::Device;
+use nassc_bench::{cli_usize, cli_value};
+use nassc_serve::{signal, ServeConfig, Server};
+
+/// Collects every occurrence of `--device <spec>` (unlike
+/// [`cli_value`], which returns only the first).
+fn devices_from_args() -> Result<Vec<Device>, ExitCode> {
+    let mut devices = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--device" {
+            let Some(spec) = args.next() else {
+                eprintln!("error: --device expects a value");
+                return Err(ExitCode::FAILURE);
+            };
+            match spec.parse() {
+                Ok(device) => devices.push(device),
+                Err(e) => {
+                    eprintln!("error: --device: {e}");
+                    return Err(ExitCode::FAILURE);
+                }
+            }
+        }
+    }
+    if devices.is_empty() {
+        devices.push(Device::montreal());
+    }
+    Ok(devices)
+}
+
+fn main() -> ExitCode {
+    if std::env::args().any(|arg| arg == "--help" || arg == "-h") {
+        eprintln!(
+            "usage: nassc-serve [--addr HOST:PORT] [--device SPEC]... \
+             [--workers N] [--queue-depth N] [--timeout-ms N]"
+        );
+        return ExitCode::SUCCESS;
+    }
+    let devices = match devices_from_args() {
+        Ok(devices) => devices,
+        Err(code) => return code,
+    };
+    let config = ServeConfig {
+        addr: cli_value("--addr").unwrap_or_else(|| "127.0.0.1:7878".to_string()),
+        devices,
+        workers: cli_usize("--workers").unwrap_or(4).max(1),
+        queue_depth: cli_usize("--queue-depth").unwrap_or(64).max(1),
+        default_timeout_ms: cli_usize("--timeout-ms").unwrap_or(60_000).max(1) as u64,
+        options: Default::default(),
+    };
+    signal::install_handlers();
+    let server = match Server::bind(config.clone()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: binding {}: {e}", config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let device_names: Vec<String> = config
+        .devices
+        .iter()
+        .map(|d| format!("{} ({}q)", d.name(), d.num_qubits()))
+        .collect();
+    eprintln!(
+        "nassc-serve listening on {} — devices: {}; {} workers, queue depth {}",
+        server.local_addr(),
+        device_names.join(", "),
+        config.workers,
+        config.queue_depth,
+    );
+    server.run();
+    eprintln!("nassc-serve drained and stopped");
+    ExitCode::SUCCESS
+}

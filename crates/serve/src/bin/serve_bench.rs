@@ -1,0 +1,341 @@
+//! `serve_bench`: load generator for the `nassc-serve` daemon.
+//!
+//! Default (in-process) mode boots a daemon at 1 and at 8 handler workers,
+//! drives the committed QASM corpus through it — a sequential *cold* phase
+//! (fresh session, empty caches) and a concurrent *warm* phase (`--clients`
+//! connections × `--rounds` corpus passes) — and writes `BENCH_serve.json`
+//! with throughput and exact client-side p50/p99 latency rows:
+//!
+//! ```text
+//! serve_bench --qasm-dir benchmarks/qasm --clients 8 --rounds 2 --json BENCH_serve.json
+//! ```
+//!
+//! Every response body is compared byte-for-byte against a direct
+//! [`Transpiler`] call with the same options — the daemon must be a
+//! transparent wrapper, so `serve_mismatches` must be 0 regardless of worker
+//! count, concurrency or cache temperature.
+//!
+//! `--addr HOST:PORT` switches to external mode: the same phases against an
+//! already-running daemon (which must serve the montreal device with default
+//! options). CI's bench-smoke boots `nassc-serve`, points `serve_bench
+//! --addr` at it, and gates the report:
+//!
+//! ```text
+//! bench_gate BENCH_serve.json --max error_responses 0 --max serve_mismatches 0
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use nassc::{qasm, Device, TranspileOptions, Transpiler};
+use nassc_bench::{cli_usize, cli_value, BenchReport, ReportRow};
+use nassc_serve::{client, ServeConfig, Server};
+
+/// Worker counts exercised by in-process mode.
+const WORKER_COUNTS: [usize; 2] = [1, 8];
+
+/// One corpus circuit with its expected (direct-call) transpiled QASM.
+struct Expected {
+    name: String,
+    source: String,
+    body: String,
+}
+
+/// Measurements from one load phase.
+struct PhaseStats {
+    latencies_ms: Vec<f64>,
+    wall_seconds: f64,
+    error_responses: u64,
+    mismatches: u64,
+}
+
+impl PhaseStats {
+    fn requests(&self) -> usize {
+        self.latencies_ms.len()
+    }
+
+    fn throughput_rps(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.requests() as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Exact quantile over the recorded client-side latencies.
+    fn quantile_ms(&self, q: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latencies_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let rank = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+        sorted[rank - 1]
+    }
+
+    fn mean_ms(&self) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        self.latencies_ms.iter().sum::<f64>() / self.latencies_ms.len() as f64
+    }
+}
+
+/// Builds the reference answers by transpiling the corpus directly through
+/// one `Transpiler` session with the daemon's default options.
+fn build_expected(dir: &Path, device: &Device) -> Result<Vec<Expected>, String> {
+    let corpus = qasm::load_corpus(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    if corpus.is_empty() {
+        return Err(format!("no .qasm files in {}", dir.display()));
+    }
+    let session = Transpiler::new(device.clone(), TranspileOptions::new());
+    let mut expected = Vec::new();
+    for file in corpus {
+        let source = std::fs::read_to_string(&file.path)
+            .map_err(|e| format!("reading {}: {e}", file.path.display()))?;
+        match file.circuit {
+            Ok(circuit) if circuit.num_qubits() > device.num_qubits() => {
+                eprintln!("skipping {} (wider than the device)", file.name);
+            }
+            Ok(_) => {
+                let result = session
+                    .transpile_qasm(&source)
+                    .map_err(|e| format!("direct transpile of {}: {e}", file.name))?;
+                let body = qasm::export(&result.circuit)
+                    .map_err(|e| format!("exporting {}: {e}", file.name))?;
+                expected.push(Expected {
+                    name: file.name,
+                    source,
+                    body,
+                });
+            }
+            Err(e) => return Err(format!("parse failure in {}: {e}", file.path.display())),
+        }
+    }
+    Ok(expected)
+}
+
+/// Runs one pass of the full corpus on the calling thread.
+fn run_corpus_pass(addr: &str, expected: &[Expected]) -> PhaseStats {
+    let mut stats = PhaseStats {
+        latencies_ms: Vec::new(),
+        wall_seconds: 0.0,
+        error_responses: 0,
+        mismatches: 0,
+    };
+    for item in expected {
+        let started = Instant::now();
+        match client::post(addr, "/transpile", &item.source) {
+            Ok(response) => {
+                stats
+                    .latencies_ms
+                    .push(1000.0 * started.elapsed().as_secs_f64());
+                if response.status != 200 {
+                    eprintln!("{}: status {}", item.name, response.status);
+                    stats.error_responses += 1;
+                } else if response.body != item.body {
+                    eprintln!("{}: body differs from direct transpile", item.name);
+                    stats.mismatches += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("{}: request failed: {e}", item.name);
+                stats
+                    .latencies_ms
+                    .push(1000.0 * started.elapsed().as_secs_f64());
+                stats.error_responses += 1;
+            }
+        }
+    }
+    stats
+}
+
+/// Runs `clients` threads × `rounds` corpus passes each, merging the stats.
+fn run_phase(
+    addr: &str,
+    expected: Arc<Vec<Expected>>,
+    clients: usize,
+    rounds: usize,
+) -> PhaseStats {
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let addr = addr.to_string();
+            let expected = Arc::clone(&expected);
+            std::thread::spawn(move || {
+                let mut merged = PhaseStats {
+                    latencies_ms: Vec::new(),
+                    wall_seconds: 0.0,
+                    error_responses: 0,
+                    mismatches: 0,
+                };
+                for _ in 0..rounds {
+                    let pass = run_corpus_pass(&addr, &expected);
+                    merged.latencies_ms.extend(pass.latencies_ms);
+                    merged.error_responses += pass.error_responses;
+                    merged.mismatches += pass.mismatches;
+                }
+                merged
+            })
+        })
+        .collect();
+    let mut total = PhaseStats {
+        latencies_ms: Vec::new(),
+        wall_seconds: 0.0,
+        error_responses: 0,
+        mismatches: 0,
+    };
+    for handle in handles {
+        let stats = handle.join().expect("client thread panicked");
+        total.latencies_ms.extend(stats.latencies_ms);
+        total.error_responses += stats.error_responses;
+        total.mismatches += stats.mismatches;
+    }
+    total.wall_seconds = started.elapsed().as_secs_f64();
+    total
+}
+
+/// Appends one report row for a phase.
+fn push_row(report: &mut BenchReport, name: &str, qubits: usize, stats: &PhaseStats) {
+    report.rows.push(ReportRow {
+        name: name.to_string(),
+        qubits,
+        metrics: vec![
+            ("requests".to_string(), stats.requests() as f64),
+            ("throughput_rps".to_string(), stats.throughput_rps()),
+            ("mean_ms".to_string(), stats.mean_ms()),
+            ("p50_ms".to_string(), stats.quantile_ms(0.50)),
+            ("p99_ms".to_string(), stats.quantile_ms(0.99)),
+            ("error_responses".to_string(), stats.error_responses as f64),
+            ("mismatches".to_string(), stats.mismatches as f64),
+        ],
+    });
+    eprintln!(
+        "{name}: {} requests in {:.2}s — {:.1} req/s, p50 {:.1} ms, p99 {:.1} ms, \
+         {} errors, {} mismatches",
+        stats.requests(),
+        stats.wall_seconds,
+        stats.throughput_rps(),
+        stats.quantile_ms(0.50),
+        stats.quantile_ms(0.99),
+        stats.error_responses,
+        stats.mismatches,
+    );
+}
+
+fn main() -> ExitCode {
+    let dir = cli_value("--qasm-dir")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("benchmarks/qasm"));
+    let clients = cli_usize("--clients").unwrap_or(8).max(1);
+    let rounds = cli_usize("--rounds").unwrap_or(2).max(1);
+    let json = cli_value("--json").map(PathBuf::from);
+    let device = Device::montreal();
+
+    eprintln!("building reference answers with a direct Transpiler session...");
+    let expected = match build_expected(&dir, &device) {
+        Ok(expected) => Arc::new(expected),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("{} corpus circuits", expected.len());
+
+    let mut report = BenchReport::new(
+        "serve_bench",
+        "nassc-serve daemon load test over the QASM corpus",
+        format!("qasm:{}", dir.display()),
+        rounds,
+    );
+    let qubits = device.num_qubits();
+    let mut phases: Vec<PhaseStats> = Vec::new();
+    let mut warm_p99: f64 = 0.0;
+    let mut warm_throughput: f64 = 0.0;
+
+    if let Some(addr) = cli_value("--addr") {
+        // External mode: phases against an already-running daemon.
+        eprintln!("external daemon at {addr}");
+        let cold = run_phase(&addr, Arc::clone(&expected), 1, 1);
+        push_row(&mut report, "external_cold", qubits, &cold);
+        let warm = run_phase(&addr, Arc::clone(&expected), clients, rounds);
+        push_row(&mut report, "external_warm", qubits, &warm);
+        warm_p99 = warm.quantile_ms(0.99);
+        warm_throughput = warm.throughput_rps();
+        phases.push(cold);
+        phases.push(warm);
+    } else {
+        // In-process mode: boot a fresh daemon per worker count so every
+        // cold phase really is cold.
+        for workers in WORKER_COUNTS {
+            let server = match Server::bind(ServeConfig {
+                addr: "127.0.0.1:0".to_string(),
+                devices: vec![device.clone()],
+                workers,
+                queue_depth: 256,
+                default_timeout_ms: 300_000,
+                options: TranspileOptions::new(),
+            }) {
+                Ok(server) => server,
+                Err(e) => {
+                    eprintln!("error: binding in-process server: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let addr = server.local_addr().to_string();
+            let shutdown = server.shutdown_handle();
+            let running = std::thread::spawn(move || server.run());
+            eprintln!("in-process daemon at {addr} with {workers} workers");
+
+            let cold = run_phase(&addr, Arc::clone(&expected), 1, 1);
+            push_row(
+                &mut report,
+                &format!("workers{workers}_cold"),
+                qubits,
+                &cold,
+            );
+            let warm = run_phase(&addr, Arc::clone(&expected), clients, rounds);
+            push_row(
+                &mut report,
+                &format!("workers{workers}_warm"),
+                qubits,
+                &warm,
+            );
+            warm_p99 = warm_p99.max(warm.quantile_ms(0.99));
+            warm_throughput = warm_throughput.max(warm.throughput_rps());
+            phases.push(cold);
+            phases.push(warm);
+
+            shutdown.shutdown();
+            running.join().expect("server thread panicked");
+        }
+    }
+
+    let total_requests: usize = phases.iter().map(PhaseStats::requests).sum();
+    let error_responses: u64 = phases.iter().map(|p| p.error_responses).sum();
+    let mismatches: u64 = phases.iter().map(|p| p.mismatches).sum();
+    report.summary = vec![
+        ("total_requests".to_string(), total_requests as f64),
+        ("error_responses".to_string(), error_responses as f64),
+        ("serve_mismatches".to_string(), mismatches as f64),
+        ("p99_ms".to_string(), warm_p99),
+        ("best_warm_throughput_rps".to_string(), warm_throughput),
+    ];
+    eprintln!(
+        "total: {total_requests} requests, {error_responses} error responses, \
+         {mismatches} mismatches vs direct Transpiler calls"
+    );
+    if let Some(path) = &json {
+        if let Err(e) = report.write_to_file(path) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+    }
+    if error_responses > 0 || mismatches > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,446 @@
+//! A minimal HTTP/1.1 subset over `std::io` — just enough protocol for the
+//! transpilation daemon, with zero dependencies.
+//!
+//! Supported: one request per connection (every response carries
+//! `Connection: close`), request line + headers + `Content-Length` bodies,
+//! query strings with percent-decoding. Not supported (and rejected
+//! cleanly): chunked transfer encoding, multiline headers, bodies above the
+//! configured cap.
+
+use std::io::{BufRead, Write};
+
+/// Hard cap on a single request/header line, against unbounded buffering.
+const MAX_LINE_BYTES: usize = 8 * 1024;
+
+/// Hard cap on the number of request headers.
+const MAX_HEADERS: usize = 64;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-case method (`GET`, `POST`, …).
+    pub method: String,
+    /// The path without its query string (e.g. `/transpile`).
+    pub path: String,
+    /// Percent-decoded query parameters, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Headers with lower-cased names, in order of appearance.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: String,
+}
+
+impl Request {
+    /// The first query parameter named `name`, if any.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The first header named `name` (case-insensitive), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A request-level protocol failure, carrying the HTTP status the server
+/// should answer with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// The status to respond with (400, 408, 413, …).
+    pub status: u16,
+    /// Human-readable description for the response body.
+    pub message: String,
+}
+
+impl HttpError {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        Self {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {}: {}",
+            self.status,
+            reason(self.status),
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Reads one line (up to CRLF or LF), rejecting lines above the cap.
+fn read_line(reader: &mut impl BufRead) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        let n = std::io::Read::read(reader, &mut byte)
+            .map_err(|e| HttpError::new(408, format!("reading request: {e}")))?;
+        if n == 0 {
+            if line.is_empty() {
+                return Err(HttpError::new(400, "connection closed before request"));
+            }
+            break;
+        }
+        if byte[0] == b'\n' {
+            break;
+        }
+        line.push(byte[0]);
+        if line.len() > MAX_LINE_BYTES {
+            return Err(HttpError::new(431, "request line or header too long"));
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| HttpError::new(400, "request is not valid UTF-8"))
+}
+
+/// Percent-decodes a query component (`%41` → `A`, `+` → space). Malformed
+/// escapes pass through verbatim rather than failing the whole request.
+fn percent_decode(text: &str) -> String {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 2;
+                    }
+                    None => out.push(b'%'),
+                }
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Splits a raw query string into decoded key/value pairs.
+fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| match part.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(part), String::new()),
+        })
+        .collect()
+}
+
+/// Reads and parses one HTTP request from `reader`.
+///
+/// # Errors
+///
+/// [`HttpError`] with the status the caller should answer with: 400 for
+/// malformed syntax, 408 for read timeouts, 413 for bodies above
+/// `max_body_bytes`, 431 for oversized header lines.
+pub fn read_request(
+    reader: &mut impl BufRead,
+    max_body_bytes: usize,
+) -> Result<Request, HttpError> {
+    let request_line = read_line(reader)?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m.to_string(), t.to_string(), v),
+        _ => {
+            return Err(HttpError::new(
+                400,
+                format!("malformed request line {request_line:?}"),
+            ))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::new(
+            400,
+            format!("unsupported version {version:?}"),
+        ));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::new(431, "too many headers"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::new(400, format!("malformed header {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    if headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::new(
+            400,
+            "chunked transfer encoding is not supported",
+        ));
+    }
+
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::new(400, format!("bad content-length {v:?}")))?,
+        None => 0,
+    };
+    if content_length > max_body_bytes {
+        return Err(HttpError::new(
+            413,
+            format!("body of {content_length} bytes exceeds the {max_body_bytes}-byte limit"),
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    std::io::Read::read_exact(reader, &mut body)
+        .map_err(|e| HttpError::new(408, format!("reading body: {e}")))?;
+    let body =
+        String::from_utf8(body).map_err(|_| HttpError::new(400, "body is not valid UTF-8"))?;
+
+    let (path, query) = match target.split_once('?') {
+        Some((path, raw)) => (path.to_string(), parse_query(raw)),
+        None => (target, Vec::new()),
+    };
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// The canonical reason phrase for the statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The status code.
+    pub status: u16,
+    /// The `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Extra headers (`X-*` metrics and the like).
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A `text/plain` response (the body should end with a newline).
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            content_type: "application/json",
+            ..Self::text(status, body)
+        }
+    }
+
+    /// A transpiled-QASM response.
+    pub fn qasm(body: impl Into<String>) -> Self {
+        Self {
+            content_type: "application/x-qasm",
+            ..Self::text(200, body)
+        }
+    }
+
+    /// Appends one extra header (builder style).
+    #[must_use]
+    pub fn header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Serializes the response to `writer` (always `Connection: close`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; the caller drops the connection either way.
+    pub fn write_to(&self, writer: &mut impl Write) -> std::io::Result<()> {
+        write!(
+            writer,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len()
+        )?;
+        for (name, value) in &self.headers {
+            write!(writer, "{name}: {value}\r\n")?;
+        }
+        write!(writer, "\r\n")?;
+        writer.write_all(self.body.as_bytes())?;
+        writer.flush()
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), 1024)
+    }
+
+    #[test]
+    fn parses_request_line_query_headers_and_body() {
+        let req = parse(
+            "POST /transpile?router=nassc&seed=7&device=grid%3A3x3 HTTP/1.1\r\n\
+             Host: localhost\r\n\
+             Content-Length: 4\r\n\
+             \r\n\
+             body",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/transpile");
+        assert_eq!(req.query_param("router"), Some("nassc"));
+        assert_eq!(req.query_param("seed"), Some("7"));
+        assert_eq!(req.query_param("device"), Some("grid:3x3"));
+        assert_eq!(req.header("host"), Some("localhost"));
+        assert_eq!(req.header("HOST"), Some("localhost"));
+        assert_eq!(req.body, "body");
+    }
+
+    #[test]
+    fn missing_content_length_means_empty_body() {
+        let req = parse("GET /metrics HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.body, "");
+        assert!(req.query.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_the_right_status() {
+        assert_eq!(parse("").unwrap_err().status, 400);
+        assert_eq!(parse("GET\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(parse("GET / SPDY/3\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(
+            parse("GET / HTTP/1.1\r\nbad header line\r\n\r\n")
+                .unwrap_err()
+                .status,
+            400
+        );
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n")
+                .unwrap_err()
+                .status,
+            413
+        );
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n")
+                .unwrap_err()
+                .status,
+            400
+        );
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+                .unwrap_err()
+                .status,
+            400
+        );
+    }
+
+    #[test]
+    fn truncated_body_is_a_timeout_class_error() {
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort")
+                .unwrap_err()
+                .status,
+            408
+        );
+    }
+
+    #[test]
+    fn percent_decoding_handles_escapes_and_plus() {
+        assert_eq!(percent_decode("a%3Ab+c"), "a:b c");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn response_serializes_with_extra_headers() {
+        let mut out = Vec::new();
+        Response::qasm("OPENQASM 2.0;\n")
+            .header("X-Elapsed-Ms", "1.5")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Type: application/x-qasm\r\n"));
+        assert!(text.contains("Content-Length: 14\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("X-Elapsed-Ms: 1.5\r\n"));
+        assert!(text.ends_with("\r\n\r\nOPENQASM 2.0;\n"));
+    }
+
+    #[test]
+    fn json_escape_covers_the_control_set() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

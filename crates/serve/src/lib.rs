@@ -1,0 +1,502 @@
+//! `nassc-serve`: a transpilation daemon over the [`Transpiler`] session API.
+//!
+//! The daemon is dependency-free — a hand-rolled HTTP/1.1 subset over
+//! [`std::net::TcpListener`] — and keeps one long-lived [`Transpiler`] per
+//! configured [`Device`], so every request shares the session's worker pool
+//! and its distance/baseline/layout caches. The serving pipeline is:
+//!
+//! ```text
+//!   acceptor (non-blocking accept, polls shutdown)
+//!      │  try_push            ── full → 429 written by the acceptor
+//!      ▼
+//!   BoundedQueue<Conn>        ── backpressure valve (queue_depth)
+//!      │  pop (blocking)
+//!      ▼
+//!   N handler workers         ── deadline check → 504 before transpiling
+//!      │                         /transpile → session.transpile_qasm_with
+//!      ▼
+//!   response (+ X-* metric headers), Connection: close
+//! ```
+//!
+//! Endpoints:
+//!
+//! * `POST /transpile?device=<spec>&router=<sabre|nassc>&seed=<n>&layout-trials=<n>&timeout-ms=<n>`
+//!   — body is OpenQASM 2.0 in, body is transpiled OpenQASM 2.0 out.
+//!   Per-request metrics travel as `X-Elapsed-Ms`, `X-Queue-Ms`,
+//!   `X-Cx-Count`, `X-Swap-Count`, `X-Depth`, `X-Chosen-Trial`,
+//!   `X-Cache-Hits`/`X-Cache-Misses` response headers, so the body stays
+//!   byte-comparable against a direct [`Transpiler`] call.
+//! * `GET /metrics` — JSON: response counts by status, p50/p99 latency
+//!   histograms, cumulative per-device [`CacheStats`](nassc::CacheStats),
+//!   worker-pool status.
+//! * `GET /health` — liveness probe.
+//!
+//! Error taxonomy is derived from [`nassc::ErrorKind`], not string matching:
+//! parse failures → 400, circuit wider than the device → 422, internal pass
+//! errors → 500; a full queue → 429; a request whose queue wait exceeded its
+//! deadline → 504. Every error response carries an `X-Error-Kind` header.
+//!
+//! Shutdown is graceful: SIGINT/SIGTERM (or [`ShutdownHandle::shutdown`])
+//! stops the acceptor, closes the queue, lets the workers drain in-flight
+//! requests, and joins them before [`Server::run`] returns.
+
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod queue;
+pub mod signal;
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use nassc::qasm;
+use nassc::{Device, ErrorKind, RouterKind, TranspileOptions, Transpiler};
+
+use http::{read_request, HttpError, Request, Response};
+use metrics::ServerMetrics;
+use queue::{BoundedQueue, PushError};
+
+/// Largest accepted request body (QASM source), in bytes.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// How long the acceptor sleeps between non-blocking `accept` attempts —
+/// also the shutdown-poll latency bound.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Per-socket read timeout so a stalled client cannot pin a worker.
+const SOCKET_READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (port 0 picks a free port).
+    pub addr: String,
+    /// Devices to serve; the first is the default for requests that do not
+    /// pass `?device=`. Each gets its own long-lived [`Transpiler`].
+    pub devices: Vec<Device>,
+    /// Handler worker threads. `0` is allowed (nothing drains the queue) so
+    /// tests can provoke deterministic 429s; the binary enforces `>= 1`.
+    pub workers: usize,
+    /// Bounded queue capacity — connections beyond it are answered 429.
+    pub queue_depth: usize,
+    /// Default per-request deadline (queue wait), overridable per request
+    /// via `?timeout-ms=` or the `x-timeout-ms` header.
+    pub default_timeout_ms: u64,
+    /// Base transpile options for every session; requests may override
+    /// `router`, `seed` and `layout-trials`.
+    pub options: TranspileOptions,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            devices: vec![Device::montreal()],
+            workers: 4,
+            queue_depth: 64,
+            default_timeout_ms: 60_000,
+            options: TranspileOptions::new(),
+        }
+    }
+}
+
+/// A connection waiting in the queue. `accepted_at` anchors both the
+/// queue-wait metric and the request deadline.
+struct Conn {
+    stream: TcpStream,
+    accepted_at: Instant,
+}
+
+/// State shared between the acceptor and the handler workers.
+struct Shared {
+    sessions: Vec<(String, Arc<Transpiler>)>,
+    queue: BoundedQueue<Conn>,
+    metrics: Mutex<ServerMetrics>,
+    default_timeout_ms: u64,
+    workers: usize,
+    started: Instant,
+}
+
+/// Requests the server stop accepting and drain; cloneable across threads.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+}
+
+impl ShutdownHandle {
+    /// Triggers graceful shutdown: the acceptor stops, queued requests
+    /// drain, then [`Server::run`] returns.
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+}
+
+/// A bound (but not yet running) daemon.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the listener and builds one [`Transpiler`] session per device.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding; an invalid config (no devices, duplicate
+    /// device names) is reported as [`std::io::ErrorKind::InvalidInput`].
+    pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
+        if config.devices.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "at least one device is required",
+            ));
+        }
+        let mut sessions: Vec<(String, Arc<Transpiler>)> = Vec::new();
+        for device in &config.devices {
+            let name = device.name().to_string();
+            if sessions.iter().any(|(existing, _)| *existing == name) {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("duplicate device {name:?}"),
+                ));
+            }
+            sessions.push((
+                name,
+                Arc::new(Transpiler::new(device.clone(), config.options.clone())),
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            addr,
+            shared: Arc::new(Shared {
+                sessions,
+                queue: BoundedQueue::new(config.queue_depth),
+                metrics: Mutex::new(ServerMetrics::default()),
+                default_timeout_ms: config.default_timeout_ms,
+                workers: config.workers,
+                started: Instant::now(),
+            }),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle that triggers graceful shutdown from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            flag: Arc::clone(&self.shutdown),
+        }
+    }
+
+    /// Runs the daemon: spawns the handler workers, accepts until shutdown
+    /// is requested (via [`ShutdownHandle`] or SIGINT/SIGTERM), then closes
+    /// the queue, drains in-flight requests and joins the workers.
+    pub fn run(self) {
+        let workers: Vec<_> = (0..self.shared.workers)
+            .map(|i| {
+                let shared = Arc::clone(&self.shared);
+                std::thread::Builder::new()
+                    .name(format!("nassc-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning handler worker")
+            })
+            .collect();
+
+        while !self.shutdown.load(Ordering::SeqCst) && !signal::signalled() {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let conn = Conn {
+                        stream,
+                        accepted_at: Instant::now(),
+                    };
+                    match self.shared.queue.try_push(conn) {
+                        Ok(()) => {}
+                        Err(PushError::Full(conn)) => {
+                            let mut metrics = lock_metrics(&self.shared);
+                            metrics.rejected_busy += 1;
+                            drop(metrics);
+                            reject(&self.shared, conn.stream, 429, "queue full");
+                        }
+                        Err(PushError::Closed(conn)) => {
+                            reject(&self.shared, conn.stream, 503, "shutting down");
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(_) => std::thread::sleep(ACCEPT_POLL),
+            }
+        }
+
+        self.shared.queue.close();
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn lock_metrics(shared: &Shared) -> std::sync::MutexGuard<'_, ServerMetrics> {
+    shared.metrics.lock().expect("metrics lock poisoned")
+}
+
+/// Writes a bare error response from the acceptor (load shedding and
+/// shutdown refusals never reach the queue).
+fn reject(shared: &Shared, mut stream: TcpStream, status: u16, message: &str) {
+    let response = Response::text(status, format!("{message}\n"));
+    if response.write_to(&mut stream).is_ok() {
+        let _ = stream.flush();
+    }
+    lock_metrics(shared).count_response(status);
+}
+
+/// One handler worker: drain the queue until it is closed and empty.
+fn worker_loop(shared: &Shared) {
+    while let Some(conn) = shared.queue.pop() {
+        handle_connection(shared, conn);
+    }
+}
+
+/// Serves exactly one request on the connection (`Connection: close`).
+fn handle_connection(shared: &Shared, conn: Conn) {
+    let Conn {
+        mut stream,
+        accepted_at,
+    } = conn;
+    let queue_ms = 1000.0 * accepted_at.elapsed().as_secs_f64();
+    lock_metrics(shared).queue_wait.record(queue_ms);
+    let _ = stream.set_read_timeout(Some(SOCKET_READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+
+    let request = {
+        let mut reader = BufReader::new(match stream.try_clone() {
+            Ok(clone) => clone,
+            Err(_) => return,
+        });
+        read_request(&mut reader, MAX_BODY_BYTES)
+    };
+    let response = match request {
+        Ok(request) => route(shared, &request, accepted_at, queue_ms),
+        Err(HttpError { status, message }) => Response::text(status, format!("{message}\n")),
+    };
+    if response.write_to(&mut stream).is_ok() {
+        let _ = stream.flush();
+    }
+    lock_metrics(shared).count_response(response.status);
+}
+
+/// Dispatches a parsed request to an endpoint.
+fn route(shared: &Shared, request: &Request, accepted_at: Instant, queue_ms: f64) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/health") => Response::text(200, "ok\n"),
+        ("GET", "/metrics") => Response::json(200, metrics_json(shared)),
+        ("POST", "/transpile") => transpile_endpoint(shared, request, accepted_at, queue_ms),
+        ("GET" | "HEAD", "/transpile") => {
+            Response::text(405, "use POST with an OpenQASM 2.0 body\n")
+        }
+        _ => Response::text(404, format!("no route for {}\n", request.path)),
+    }
+}
+
+/// The deadline for a request: `?timeout-ms=`, then the `x-timeout-ms`
+/// header, then the server default.
+fn deadline_ms(shared: &Shared, request: &Request) -> Result<u64, Response> {
+    let raw = request
+        .query_param("timeout-ms")
+        .or_else(|| request.header("x-timeout-ms"));
+    match raw {
+        None => Ok(shared.default_timeout_ms),
+        Some(raw) => raw.parse::<u64>().map_err(|_| {
+            Response::text(
+                400,
+                format!("invalid timeout-ms {raw:?}: expected integer milliseconds\n"),
+            )
+        }),
+    }
+}
+
+/// `POST /transpile` — QASM in, transpiled QASM plus metric headers out.
+fn transpile_endpoint(
+    shared: &Shared,
+    request: &Request,
+    accepted_at: Instant,
+    queue_ms: f64,
+) -> Response {
+    let timeout_ms = match deadline_ms(shared, request) {
+        Ok(ms) => ms,
+        Err(response) => return response,
+    };
+    if accepted_at.elapsed() >= Duration::from_millis(timeout_ms) {
+        lock_metrics(shared).deadline_expired += 1;
+        return Response::text(
+            504,
+            format!("deadline of {timeout_ms} ms expired after {queue_ms:.1} ms in queue\n"),
+        )
+        .header("X-Error-Kind", "deadline");
+    }
+
+    let (device_name, session) = match request.query_param("device") {
+        None => {
+            let (name, session) = &shared.sessions[0];
+            (name.clone(), Arc::clone(session))
+        }
+        Some(wanted) => match shared.sessions.iter().find(|(name, _)| name == wanted) {
+            Some((name, session)) => (name.clone(), Arc::clone(session)),
+            None => {
+                let known: Vec<&str> = shared
+                    .sessions
+                    .iter()
+                    .map(|(name, _)| name.as_str())
+                    .collect();
+                return Response::text(
+                    400,
+                    format!(
+                        "unknown device {wanted:?}: this server has {}\n",
+                        known.join(", ")
+                    ),
+                );
+            }
+        },
+    };
+
+    let mut options = session.options().clone();
+    match request.query_param("router") {
+        None => {}
+        Some("sabre") => options = options.router(RouterKind::Sabre),
+        Some("nassc") => options = options.router(RouterKind::Nassc),
+        Some(other) => {
+            return Response::text(
+                400,
+                format!("unknown router {other:?}: expected sabre or nassc\n"),
+            );
+        }
+    }
+    if let Some(raw) = request.query_param("seed") {
+        match raw.parse::<u64>() {
+            Ok(seed) => options = options.seed(seed),
+            Err(_) => return Response::text(400, format!("invalid seed {raw:?}\n")),
+        }
+    }
+    if let Some(raw) = request.query_param("layout-trials") {
+        match raw.parse::<usize>() {
+            Ok(trials) if trials >= 1 => options = options.layout_trials(trials),
+            _ => {
+                return Response::text(
+                    400,
+                    format!("invalid layout-trials {raw:?}: expected >= 1\n"),
+                );
+            }
+        }
+    }
+
+    let started = Instant::now();
+    let result = match session.transpile_qasm_with(&request.body, &options) {
+        Ok(result) => result,
+        Err(e) => {
+            let (status, kind) = match e.kind() {
+                ErrorKind::Parse => (400, "parse"),
+                ErrorKind::TooWide => (422, "too-wide"),
+                ErrorKind::Pass => (500, "pass"),
+            };
+            return Response::text(status, format!("{e}\n")).header("X-Error-Kind", kind);
+        }
+    };
+    let out_qasm = match qasm::export(&result.circuit) {
+        Ok(out) => out,
+        Err(e) => {
+            return Response::text(500, format!("exporting result: {e}\n"))
+                .header("X-Error-Kind", "pass");
+        }
+    };
+    let elapsed_ms = 1000.0 * started.elapsed().as_secs_f64();
+    lock_metrics(shared).transpile_latency.record(elapsed_ms);
+    Response::qasm(out_qasm)
+        .header("X-Device", device_name)
+        .header("X-Elapsed-Ms", format!("{elapsed_ms:.3}"))
+        .header("X-Queue-Ms", format!("{queue_ms:.3}"))
+        .header("X-Cx-Count", result.cx_count().to_string())
+        .header("X-Swap-Count", result.swap_count.to_string())
+        .header("X-Depth", result.depth().to_string())
+        .header("X-Chosen-Trial", result.chosen_layout_trial.to_string())
+        .header("X-Cache-Hits", result.cache.hits().to_string())
+        .header("X-Cache-Misses", result.cache.misses().to_string())
+}
+
+/// Formats a histogram as a JSON object fragment.
+fn histogram_json(histogram: &metrics::LatencyHistogram) -> String {
+    format!(
+        "{{\"count\":{},\"mean_ms\":{:.3},\"p50_ms\":{:.3},\"p99_ms\":{:.3},\"max_ms\":{:.3}}}",
+        histogram.count(),
+        histogram.mean_ms(),
+        histogram.quantile_ms(0.50),
+        histogram.quantile_ms(0.99),
+        histogram.max_ms(),
+    )
+}
+
+/// The `/metrics` JSON document.
+fn metrics_json(shared: &Shared) -> String {
+    let metrics = lock_metrics(shared).clone();
+    let statuses: Vec<String> = metrics
+        .responses_by_status
+        .iter()
+        .map(|(status, count)| format!("\"{status}\":{count}"))
+        .collect();
+    let devices: Vec<String> = shared
+        .sessions
+        .iter()
+        .map(|(name, session)| {
+            let stats = session.cache_stats();
+            format!(
+                "{{\"name\":\"{}\",\"qubits\":{},\"cache_hits\":{},\"cache_misses\":{}}}",
+                http::json_escape(name),
+                session.device().num_qubits(),
+                stats.hits(),
+                stats.misses(),
+            )
+        })
+        .collect();
+    let pool = nassc::worker_pool_status();
+    format!(
+        concat!(
+            "{{\"uptime_seconds\":{:.3},",
+            "\"queue\":{{\"depth\":{},\"capacity\":{},\"workers\":{}}},",
+            "\"responses_by_status\":{{{}}},",
+            "\"total_responses\":{},",
+            "\"error_responses\":{},",
+            "\"rejected_busy\":{},",
+            "\"deadline_expired\":{},",
+            "\"transpile_latency_ms\":{},",
+            "\"queue_wait_ms\":{},",
+            "\"pool\":{{\"workers\":{},\"batches_completed\":{},\"items_completed\":{}}},",
+            "\"devices\":[{}]}}"
+        ),
+        shared.started.elapsed().as_secs_f64(),
+        shared.queue.len(),
+        shared.queue.capacity(),
+        shared.workers,
+        statuses.join(","),
+        metrics.total_responses(),
+        metrics.error_responses(),
+        metrics.rejected_busy,
+        metrics.deadline_expired,
+        histogram_json(&metrics.transpile_latency),
+        histogram_json(&metrics.queue_wait),
+        pool.workers,
+        pool.batches_completed,
+        pool.items_completed,
+        devices.join(","),
+    )
+}

@@ -1,0 +1,188 @@
+//! Daemon observability: latency histograms and response counters.
+//!
+//! The histogram uses fixed log-spaced millisecond buckets so `/metrics` can
+//! report p50/p99 without storing every sample. Quantiles are read from the
+//! bucket upper bounds — coarse, but monotone and constant-memory, which is
+//! what a long-running daemon wants.
+
+use std::collections::BTreeMap;
+
+/// Upper bounds (milliseconds) of the histogram buckets; a final implicit
+/// overflow bucket catches everything above the last bound.
+const BUCKET_BOUNDS_MS: [f64; 16] = [
+    0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0, 10000.0,
+    20000.0, 60000.0,
+];
+
+/// A fixed-bucket latency histogram over milliseconds.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    /// One count per bound, plus the overflow bucket at the end.
+    counts: [u64; BUCKET_BOUNDS_MS.len() + 1],
+    total: u64,
+    sum_ms: f64,
+    max_ms: f64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: [0; BUCKET_BOUNDS_MS.len() + 1],
+            total: 0,
+            sum_ms: 0.0,
+            max_ms: 0.0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, ms: f64) {
+        let ms = if ms.is_finite() && ms >= 0.0 { ms } else { 0.0 };
+        let bucket = BUCKET_BOUNDS_MS
+            .iter()
+            .position(|&bound| ms <= bound)
+            .unwrap_or(BUCKET_BOUNDS_MS.len());
+        self.counts[bucket] += 1;
+        self.total += 1;
+        self.sum_ms += ms;
+        self.max_ms = self.max_ms.max(ms);
+    }
+
+    /// The number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The mean of the recorded samples (0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum_ms / self.total as f64
+        }
+    }
+
+    /// The largest recorded sample.
+    pub fn max_ms(&self) -> f64 {
+        self.max_ms
+    }
+
+    /// The upper bound of the bucket holding quantile `q` in `[0, 1]` —
+    /// an upper estimate of the true quantile (the exact max for the
+    /// overflow bucket). Returns 0 when empty.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (bucket, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return BUCKET_BOUNDS_MS.get(bucket).copied().unwrap_or(self.max_ms);
+            }
+        }
+        self.max_ms
+    }
+}
+
+/// Mutable counters shared by the acceptor and the handler workers
+/// (guarded by one mutex in the server).
+#[derive(Debug, Default, Clone)]
+pub struct ServerMetrics {
+    /// Completed responses by HTTP status code (includes errors).
+    pub responses_by_status: BTreeMap<u16, u64>,
+    /// Connections shed by the acceptor because the queue was full (429).
+    pub rejected_busy: u64,
+    /// Requests that timed out waiting in the queue (504).
+    pub deadline_expired: u64,
+    /// End-to-end latency (accept to response written) of `/transpile`
+    /// requests that produced a transpiled circuit.
+    pub transpile_latency: LatencyHistogram,
+    /// Time requests spent queued before a worker picked them up.
+    pub queue_wait: LatencyHistogram,
+}
+
+impl ServerMetrics {
+    /// Counts one completed response.
+    pub fn count_response(&mut self, status: u16) {
+        *self.responses_by_status.entry(status).or_insert(0) += 1;
+    }
+
+    /// Total responses written, across all statuses.
+    pub fn total_responses(&self) -> u64 {
+        self.responses_by_status.values().sum()
+    }
+
+    /// Total non-2xx responses written.
+    pub fn error_responses(&self) -> u64 {
+        self.responses_by_status
+            .iter()
+            .filter(|(status, _)| !(200..300).contains(&(**status as u32)))
+            .map(|(_, count)| count)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ms(), 0.0);
+        assert_eq!(h.quantile_ms(0.5), 0.0);
+        assert_eq!(h.quantile_ms(0.99), 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(3.0); // bucket bound 5.0
+        }
+        h.record(150.0); // bucket bound 200.0
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_ms(0.5), 5.0);
+        assert_eq!(h.quantile_ms(0.99), 5.0);
+        assert_eq!(h.quantile_ms(1.0), 200.0);
+        assert_eq!(h.max_ms(), 150.0);
+    }
+
+    #[test]
+    fn overflow_bucket_reports_observed_max() {
+        let mut h = LatencyHistogram::new();
+        h.record(120_000.0);
+        assert_eq!(h.quantile_ms(0.99), 120_000.0);
+    }
+
+    #[test]
+    fn negative_and_nan_samples_clamp_to_zero() {
+        let mut h = LatencyHistogram::new();
+        h.record(-4.0);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile_ms(1.0), 0.5);
+        assert_eq!(h.max_ms(), 0.0);
+    }
+
+    #[test]
+    fn metrics_count_statuses_and_errors() {
+        let mut m = ServerMetrics::default();
+        m.count_response(200);
+        m.count_response(200);
+        m.count_response(400);
+        m.count_response(429);
+        assert_eq!(m.total_responses(), 4);
+        assert_eq!(m.error_responses(), 2);
+        assert_eq!(m.responses_by_status[&200], 2);
+    }
+}

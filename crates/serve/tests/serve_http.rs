@@ -1,0 +1,218 @@
+//! End-to-end tests of the daemon over real TCP connections: the endpoint
+//! surface, the HTTP error taxonomy derived from `ErrorKind`, backpressure
+//! (429), deadlines (504) and graceful shutdown.
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use nassc::{qasm, Device, TranspileOptions, Transpiler};
+use nassc_serve::{client, ServeConfig, Server};
+
+const BELL: &str = r#"OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+h q[0];
+cx q[0],q[1];
+"#;
+
+const GHZ5: &str = r#"OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[5];
+h q[0];
+cx q[0],q[1];
+cx q[1],q[2];
+cx q[2],q[3];
+cx q[3],q[4];
+"#;
+
+/// Boots a daemon on an ephemeral port; returns its address and a closure
+/// that shuts it down and joins the server thread.
+fn boot(config: ServeConfig) -> (String, impl FnOnce()) {
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr().to_string();
+    let shutdown = server.shutdown_handle();
+    let running = std::thread::spawn(move || server.run());
+    (addr, move || {
+        shutdown.shutdown();
+        running.join().expect("server thread");
+    })
+}
+
+fn default_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        devices: vec![Device::montreal(), Device::linear(4)],
+        workers: 2,
+        queue_depth: 16,
+        default_timeout_ms: 60_000,
+        options: TranspileOptions::new(),
+    }
+}
+
+#[test]
+fn health_and_unknown_routes() {
+    let (addr, stop) = boot(default_config());
+    let health = client::get(&addr, "/health").expect("health");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body, "ok\n");
+
+    let missing = client::get(&addr, "/nope").expect("missing");
+    assert_eq!(missing.status, 404);
+
+    let wrong_method = client::get(&addr, "/transpile").expect("method");
+    assert_eq!(wrong_method.status, 405);
+    stop();
+}
+
+#[test]
+fn transpile_matches_direct_session_call() {
+    let (addr, stop) = boot(default_config());
+    let response = client::post(&addr, "/transpile", GHZ5).expect("transpile");
+    assert_eq!(response.status, 200, "body: {}", response.body);
+
+    let direct = Transpiler::new(Device::montreal(), TranspileOptions::new());
+    let result = direct.transpile_qasm(GHZ5).expect("direct");
+    let expected = qasm::export(&result.circuit).expect("export");
+    assert_eq!(
+        response.body, expected,
+        "daemon must be a transparent wrapper"
+    );
+
+    // The per-request metric headers agree with the direct result.
+    assert_eq!(
+        response.header("x-cx-count").unwrap(),
+        result.cx_count().to_string()
+    );
+    assert_eq!(
+        response.header("x-swap-count").unwrap(),
+        result.swap_count.to_string()
+    );
+    assert_eq!(
+        response.header("x-depth").unwrap(),
+        result.depth().to_string()
+    );
+    assert_eq!(response.header("x-device").unwrap(), "montreal");
+    assert!(response.header("x-elapsed-ms").is_some());
+    assert!(response.header("x-queue-ms").is_some());
+    stop();
+}
+
+#[test]
+fn device_and_option_query_params() {
+    let (addr, stop) = boot(default_config());
+
+    // Named device + explicit options, checked against a direct call.
+    let response = client::post(
+        &addr,
+        "/transpile?device=linear:4&router=sabre&seed=7&layout-trials=2",
+        BELL,
+    )
+    .expect("transpile");
+    assert_eq!(response.status, 200, "body: {}", response.body);
+    let direct = Transpiler::new(Device::linear(4), TranspileOptions::new());
+    let options = TranspileOptions::new()
+        .router(nassc::RouterKind::Sabre)
+        .seed(7)
+        .layout_trials(2);
+    let result = direct
+        .transpile_qasm_with(BELL, &options)
+        .expect("direct with options");
+    assert_eq!(
+        response.body,
+        qasm::export(&result.circuit).expect("export")
+    );
+    assert_eq!(response.header("x-device").unwrap(), "linear:4");
+
+    // Unknown device names the served ones.
+    let unknown = client::post(&addr, "/transpile?device=grid:3x3", BELL).expect("unknown");
+    assert_eq!(unknown.status, 400);
+    assert!(unknown.body.contains("montreal"), "body: {}", unknown.body);
+
+    // Bad option values are 400s, not silent defaults.
+    for query in [
+        "/transpile?router=qiskit",
+        "/transpile?seed=banana",
+        "/transpile?layout-trials=0",
+        "/transpile?timeout-ms=soon",
+    ] {
+        let bad = client::post(&addr, query, BELL).expect("bad option");
+        assert_eq!(bad.status, 400, "{query} should be rejected");
+    }
+    stop();
+}
+
+#[test]
+fn error_taxonomy_maps_kinds_to_statuses() {
+    let (addr, stop) = boot(default_config());
+
+    // Parse failure -> 400.
+    let parse = client::post(&addr, "/transpile", "OPENQASM 2.0;\nbogus").expect("parse");
+    assert_eq!(parse.status, 400);
+    assert_eq!(parse.header("x-error-kind").unwrap(), "parse");
+
+    // Wider than the device -> 422 on the 4-qubit device.
+    let wide = client::post(&addr, "/transpile?device=linear:4", GHZ5).expect("wide");
+    assert_eq!(wide.status, 422);
+    assert_eq!(wide.header("x-error-kind").unwrap(), "too-wide");
+    assert!(wide.body.contains("5 qubits"), "body: {}", wide.body);
+    stop();
+}
+
+#[test]
+fn full_queue_sheds_load_with_429() {
+    // No workers: nothing drains the queue, so with depth 1 the second
+    // connection must be rejected by the acceptor.
+    let (addr, stop) = boot(ServeConfig {
+        workers: 0,
+        queue_depth: 1,
+        ..default_config()
+    });
+    let _parked = TcpStream::connect(&addr).expect("first connection");
+    std::thread::sleep(Duration::from_millis(100)); // let the acceptor queue it
+    let rejected = client::post(&addr, "/transpile", BELL).expect("second connection");
+    assert_eq!(rejected.status, 429);
+    stop();
+}
+
+#[test]
+fn expired_deadline_is_504_without_transpiling() {
+    let (addr, stop) = boot(default_config());
+    // A zero deadline has always expired by the time a worker dequeues.
+    let expired = client::post(&addr, "/transpile?timeout-ms=0", BELL).expect("expired");
+    assert_eq!(expired.status, 504);
+    assert_eq!(expired.header("x-error-kind").unwrap(), "deadline");
+    stop();
+}
+
+#[test]
+fn metrics_report_counts_and_histograms() {
+    let (addr, stop) = boot(default_config());
+    client::post(&addr, "/transpile", BELL).expect("ok request");
+    client::post(&addr, "/transpile", "garbage").expect("bad request");
+
+    let metrics = client::get(&addr, "/metrics").expect("metrics");
+    assert_eq!(metrics.status, 200);
+    let body = &metrics.body;
+    assert!(body.contains("\"200\":1"), "metrics: {body}");
+    assert!(body.contains("\"400\":1"), "metrics: {body}");
+    assert!(
+        body.contains("\"transpile_latency_ms\":{\"count\":1"),
+        "metrics: {body}"
+    );
+    assert!(body.contains("\"name\":\"montreal\""), "metrics: {body}");
+    assert!(body.contains("\"cache_misses\""), "metrics: {body}");
+    assert!(body.contains("\"queue\":{\"depth\":"), "metrics: {body}");
+    stop();
+}
+
+#[test]
+fn graceful_shutdown_drains_and_stops_listening() {
+    let (addr, stop) = boot(default_config());
+    let ok = client::post(&addr, "/transpile", BELL).expect("before shutdown");
+    assert_eq!(ok.status, 200);
+    stop(); // returns only after the queue drained and workers joined
+    assert!(
+        TcpStream::connect(&addr).is_err(),
+        "listener must be closed after shutdown"
+    );
+}
