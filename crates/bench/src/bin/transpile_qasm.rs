@@ -28,8 +28,8 @@
 //! stderr) rather than aborting, so one bad file cannot hide the metrics of
 //! the rest; without `--json` they make the exit status non-zero.
 //!
-//! Devices: `--device montreal` (default, 27 qubits), `linear:<n>`,
-//! `grid:<rows>x<cols>`.
+//! Devices: `--device montreal` (default, 27 qubits), `eagle` (127),
+//! `osprey` (433), `heavy-hex:<d>`, `linear:<n>`, `grid:<rows>x<cols>`.
 
 use std::io::Read;
 use std::path::{Path, PathBuf};

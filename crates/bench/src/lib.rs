@@ -31,7 +31,9 @@ use nassc_benchmarks::Benchmark;
 use nassc_parallel::default_parallelism;
 use nassc_topology::CouplingMap;
 
+pub mod alloc;
 pub mod report;
+pub mod scale;
 
 pub use report::{BenchReport, Metrics, ReportError, ReportRow};
 

@@ -1,9 +1,11 @@
 //! The flat quantum-circuit container.
 
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 use crate::gate::Gate;
 use crate::instruction::Instruction;
+use crate::qubits::QubitList;
 
 /// A quantum circuit: an ordered list of [`Instruction`]s over a fixed number
 /// of qubits.
@@ -36,6 +38,21 @@ impl QuantumCircuit {
             num_qubits,
             instructions: Vec::new(),
         }
+    }
+
+    /// Creates an empty circuit with pre-allocated room for `capacity`
+    /// instructions — the parser and generators use this so 100k-gate ingest
+    /// does not re-grow the instruction buffer.
+    pub fn with_capacity(num_qubits: usize, capacity: usize) -> Self {
+        Self {
+            num_qubits,
+            instructions: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Reserves room for at least `additional` more instructions.
+    pub fn reserve(&mut self, additional: usize) {
+        self.instructions.reserve(additional);
     }
 
     /// The number of qubits.
@@ -90,7 +107,7 @@ impl QuantumCircuit {
             for param in inst.gate.params() {
                 eat(&param.to_bits().to_le_bytes());
             }
-            for &q in &inst.qubits {
+            for q in inst.qubits().iter() {
                 eat(&(q as u64).to_le_bytes());
             }
         }
@@ -103,7 +120,7 @@ impl QuantumCircuit {
     ///
     /// Panics if an instruction qubit is out of range.
     pub fn push(&mut self, instruction: Instruction) -> &mut Self {
-        for &q in &instruction.qubits {
+        for q in instruction.qubits().iter() {
             assert!(
                 q < self.num_qubits,
                 "qubit {q} out of range for a {}-qubit circuit",
@@ -114,8 +131,9 @@ impl QuantumCircuit {
         self
     }
 
-    /// Appends a gate on the given qubits.
-    pub fn append(&mut self, gate: Gate, qubits: Vec<usize>) -> &mut Self {
+    /// Appends a gate on the given qubits (array literals are
+    /// allocation-free; `Vec<usize>` still works).
+    pub fn append(&mut self, gate: Gate, qubits: impl Into<QubitList>) -> &mut Self {
         self.push(Instruction::new(gate, qubits))
     }
 
@@ -236,13 +254,13 @@ impl QuantumCircuit {
     pub fn depth(&self) -> usize {
         let mut level = vec![0usize; self.num_qubits];
         for inst in &self.instructions {
-            let max_in = inst.qubits.iter().map(|&q| level[q]).max().unwrap_or(0);
+            let max_in = inst.qubits().iter().map(|q| level[q]).max().unwrap_or(0);
             let new_level = if inst.gate.is_directive() {
                 max_in
             } else {
                 max_in + 1
             };
-            for &q in &inst.qubits {
+            for q in inst.qubits().iter() {
                 level[q] = new_level;
             }
         }
@@ -253,7 +271,7 @@ impl QuantumCircuit {
     pub fn active_qubits(&self) -> Vec<usize> {
         let mut used = vec![false; self.num_qubits];
         for inst in &self.instructions {
-            for &q in &inst.qubits {
+            for q in inst.qubits().iter() {
                 used[q] = true;
             }
         }
@@ -310,28 +328,36 @@ impl QuantumCircuit {
     }
 
     /// Shared body of [`Self::to_qasm`] and [`Self::to_qasm_lossy`].
+    ///
+    /// The output string is pre-sized from the instruction count and every
+    /// line is written in place (no per-gate `format!` temporaries), so a
+    /// 100k-gate export performs O(1) reallocations.
     fn write_qasm(&self, lossy: bool) -> Result<String, QasmExportError> {
-        let mut out = String::new();
+        // ~24 bytes covers a typical parameterless line (`cx q[12],q[13];`);
+        // parameterised lines overflow into the usual amortised growth.
+        let mut out = String::with_capacity(64 + 24 * self.instructions.len());
         out.push_str("OPENQASM 2.0;\n");
         out.push_str("include \"qelib1.inc\";\n");
         if self.num_qubits > 0 {
-            out.push_str(&format!("qreg q[{}];\n", self.num_qubits));
+            let _ = writeln!(out, "qreg q[{}];", self.num_qubits);
         }
         if self.instructions.iter().any(|i| i.gate == Gate::Measure) {
-            out.push_str(&format!("creg c[{}];\n", self.num_qubits));
+            let _ = writeln!(out, "creg c[{}];", self.num_qubits);
         }
         for (index, inst) in self.instructions.iter().enumerate() {
             match &inst.gate {
                 Gate::Measure => {
-                    let q = inst.qubits[0];
-                    out.push_str(&format!("measure q[{q}] -> c[{q}];\n"));
+                    let q = inst.qubit(0);
+                    let _ = writeln!(out, "measure q[{q}] -> c[{q}];");
                 }
                 Gate::Barrier(_) => {
-                    out.push_str(&format!("barrier {};\n", qasm_qubit_list(&inst.qubits)));
+                    out.push_str("barrier ");
+                    write_qasm_qubits(&mut out, inst.qubits());
+                    out.push_str(";\n");
                 }
                 Gate::Unitary1(_) | Gate::Unitary2(_) => {
                     if lossy {
-                        out.push_str(&format!("// {} {:?}\n", inst.gate.name(), inst.qubits));
+                        let _ = writeln!(out, "// {} {:?}", inst.gate.name(), inst.qubits());
                     } else {
                         return Err(QasmExportError::new(index, inst.gate.name()));
                     }
@@ -340,17 +366,25 @@ impl QuantumCircuit {
                     let params = gate.params();
                     if params.iter().any(|p| !p.is_finite()) {
                         if lossy {
-                            out.push_str(&format!("// {} {:?}\n", gate.name(), inst.qubits));
+                            let _ = writeln!(out, "// {} {:?}", gate.name(), inst.qubits());
                             continue;
                         }
                         return Err(QasmExportError::new(index, gate.name()));
                     }
                     out.push_str(gate.name());
                     if !params.is_empty() {
-                        let rendered: Vec<String> = params.iter().map(|p| format!("{p}")).collect();
-                        out.push_str(&format!("({})", rendered.join(",")));
+                        out.push('(');
+                        for (i, p) in params.iter().enumerate() {
+                            if i > 0 {
+                                out.push(',');
+                            }
+                            let _ = write!(out, "{p}");
+                        }
+                        out.push(')');
                     }
-                    out.push_str(&format!(" {};\n", qasm_qubit_list(&inst.qubits)));
+                    out.push(' ');
+                    write_qasm_qubits(&mut out, inst.qubits());
+                    out.push_str(";\n");
                 }
             }
         }
@@ -361,99 +395,103 @@ impl QuantumCircuit {
 
     /// Appends a Hadamard gate.
     pub fn h(&mut self, q: usize) -> &mut Self {
-        self.append(Gate::H, vec![q])
+        self.append(Gate::H, [q])
     }
     /// Appends a Pauli-X gate.
     pub fn x(&mut self, q: usize) -> &mut Self {
-        self.append(Gate::X, vec![q])
+        self.append(Gate::X, [q])
     }
     /// Appends a Pauli-Y gate.
     pub fn y(&mut self, q: usize) -> &mut Self {
-        self.append(Gate::Y, vec![q])
+        self.append(Gate::Y, [q])
     }
     /// Appends a Pauli-Z gate.
     pub fn z(&mut self, q: usize) -> &mut Self {
-        self.append(Gate::Z, vec![q])
+        self.append(Gate::Z, [q])
     }
     /// Appends an S gate.
     pub fn s(&mut self, q: usize) -> &mut Self {
-        self.append(Gate::S, vec![q])
+        self.append(Gate::S, [q])
     }
     /// Appends an S† gate.
     pub fn sdg(&mut self, q: usize) -> &mut Self {
-        self.append(Gate::Sdg, vec![q])
+        self.append(Gate::Sdg, [q])
     }
     /// Appends a T gate.
     pub fn t(&mut self, q: usize) -> &mut Self {
-        self.append(Gate::T, vec![q])
+        self.append(Gate::T, [q])
     }
     /// Appends a T† gate.
     pub fn tdg(&mut self, q: usize) -> &mut Self {
-        self.append(Gate::Tdg, vec![q])
+        self.append(Gate::Tdg, [q])
     }
     /// Appends a √X gate.
     pub fn sx(&mut self, q: usize) -> &mut Self {
-        self.append(Gate::Sx, vec![q])
+        self.append(Gate::Sx, [q])
     }
     /// Appends an Rx rotation.
     pub fn rx(&mut self, theta: f64, q: usize) -> &mut Self {
-        self.append(Gate::Rx(theta), vec![q])
+        self.append(Gate::Rx(theta), [q])
     }
     /// Appends an Ry rotation.
     pub fn ry(&mut self, theta: f64, q: usize) -> &mut Self {
-        self.append(Gate::Ry(theta), vec![q])
+        self.append(Gate::Ry(theta), [q])
     }
     /// Appends an Rz rotation.
     pub fn rz(&mut self, theta: f64, q: usize) -> &mut Self {
-        self.append(Gate::Rz(theta), vec![q])
+        self.append(Gate::Rz(theta), [q])
     }
     /// Appends a phase gate.
     pub fn p(&mut self, lambda: f64, q: usize) -> &mut Self {
-        self.append(Gate::Phase(lambda), vec![q])
+        self.append(Gate::Phase(lambda), [q])
     }
     /// Appends a generic `U(θ, φ, λ)` gate.
     pub fn u(&mut self, theta: f64, phi: f64, lambda: f64, q: usize) -> &mut Self {
-        self.append(Gate::U(theta, phi, lambda), vec![q])
+        self.append(Gate::U(theta, phi, lambda), [q])
     }
     /// Appends a CNOT gate.
     pub fn cx(&mut self, control: usize, target: usize) -> &mut Self {
-        self.append(Gate::Cx, vec![control, target])
+        self.append(Gate::Cx, [control, target])
     }
     /// Appends a CZ gate.
     pub fn cz(&mut self, control: usize, target: usize) -> &mut Self {
-        self.append(Gate::Cz, vec![control, target])
+        self.append(Gate::Cz, [control, target])
     }
     /// Appends a controlled-phase gate.
     pub fn cp(&mut self, lambda: f64, control: usize, target: usize) -> &mut Self {
-        self.append(Gate::Cp(lambda), vec![control, target])
+        self.append(Gate::Cp(lambda), [control, target])
     }
     /// Appends a controlled-Rx gate.
     pub fn crx(&mut self, theta: f64, control: usize, target: usize) -> &mut Self {
-        self.append(Gate::Crx(theta), vec![control, target])
+        self.append(Gate::Crx(theta), [control, target])
     }
     /// Appends a SWAP gate.
     pub fn swap(&mut self, a: usize, b: usize) -> &mut Self {
-        self.append(Gate::Swap, vec![a, b])
+        self.append(Gate::Swap, [a, b])
     }
     /// Appends a Toffoli gate.
     pub fn ccx(&mut self, c1: usize, c2: usize, target: usize) -> &mut Self {
-        self.append(Gate::Ccx, vec![c1, c2, target])
+        self.append(Gate::Ccx, [c1, c2, target])
     }
     /// Appends a measurement marker on the given qubit.
     pub fn measure(&mut self, q: usize) -> &mut Self {
-        self.append(Gate::Measure, vec![q])
+        self.append(Gate::Measure, [q])
     }
     /// Appends a barrier over all qubits.
     pub fn barrier_all(&mut self) -> &mut Self {
         let n = self.num_qubits;
-        self.append(Gate::Barrier(n), (0..n).collect())
+        self.append(Gate::Barrier(n), (0..n).collect::<Vec<_>>())
     }
 }
 
-/// Renders a qubit index list as OpenQASM arguments: `q[0],q[3]`.
-fn qasm_qubit_list(qubits: &[usize]) -> String {
-    let rendered: Vec<String> = qubits.iter().map(|q| format!("q[{q}]")).collect();
-    rendered.join(",")
+/// Writes a qubit index list as OpenQASM arguments: `q[0],q[3]`.
+fn write_qasm_qubits(out: &mut String, qubits: &QubitList) {
+    for (i, q) in qubits.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "q[{q}]");
+    }
 }
 
 /// Error from [`QuantumCircuit::to_qasm`]: an instruction with no OpenQASM
@@ -494,7 +532,7 @@ impl FromIterator<Instruction> for QuantumCircuit {
         let instructions: Vec<Instruction> = iter.into_iter().collect();
         let width = instructions
             .iter()
-            .flat_map(|i| i.qubits.iter().copied())
+            .flat_map(|i| i.qubits().iter())
             .max()
             .map_or(0, |m| m + 1);
         let mut qc = QuantumCircuit::new(width);
@@ -559,7 +597,7 @@ mod tests {
         qc.h(0).cx(0, 1).cx(1, 2);
         let last = qc.pop().unwrap();
         assert_eq!(last.gate, Gate::Cx);
-        assert_eq!(last.qubits, vec![1, 2]);
+        assert_eq!(last.qubits().to_vec(), vec![1, 2]);
         assert_eq!(qc.num_gates(), 2);
         qc.truncate(1);
         assert_eq!(qc.num_gates(), 1);
@@ -618,8 +656,8 @@ mod tests {
         bell.h(0).cx(0, 1);
         let mut big = QuantumCircuit::new(5);
         big.compose_on(&bell, &[3, 1]);
-        assert_eq!(big.instructions()[0].qubits, vec![3]);
-        assert_eq!(big.instructions()[1].qubits, vec![3, 1]);
+        assert_eq!(big.instructions()[0].qubits().to_vec(), vec![3]);
+        assert_eq!(big.instructions()[1].qubits().to_vec(), vec![3, 1]);
     }
 
     #[test]

@@ -76,7 +76,7 @@ impl DagCircuit {
         for (id, inst) in circuit.iter().enumerate() {
             let mut preds = Vec::new();
             let mut wire_pred = HashMap::new();
-            for &q in &inst.qubits {
+            for q in inst.qubits().iter() {
                 if let Some(p) = last_on_wire[q] {
                     wire_pred.insert(q, p);
                     if !preds.contains(&p) {

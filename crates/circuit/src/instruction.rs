@@ -1,6 +1,7 @@
 //! A gate applied to specific qubits.
 
 use crate::gate::Gate;
+use crate::qubits::QubitList;
 
 /// One operation of a circuit: a [`Gate`] together with the qubit indices it
 /// acts on.
@@ -9,12 +10,17 @@ use crate::gate::Gate;
 /// first, and the first listed qubit is the least-significant bit of the
 /// gate's matrix basis.
 ///
+/// Qubits are stored in a compact [`QubitList`] — inline (no heap
+/// allocation) for every fixed-arity gate, spilling only for variable-arity
+/// operations like barriers — so a `Vec<Instruction>` is one contiguous
+/// buffer even at 100k gates.
+///
 /// # Example
 ///
 /// ```
 /// use nassc_circuit::{Gate, Instruction};
 ///
-/// let cx = Instruction::new(Gate::Cx, vec![0, 3]);
+/// let cx = Instruction::new(Gate::Cx, [0, 3]);
 /// assert_eq!(cx.control(), Some(0));
 /// assert_eq!(cx.target(), Some(3));
 /// ```
@@ -22,18 +28,20 @@ use crate::gate::Gate;
 pub struct Instruction {
     /// The gate being applied.
     pub gate: Gate,
-    /// The qubits the gate acts on, in gate-specific order.
-    pub qubits: Vec<usize>,
+    qubits: QubitList,
 }
 
 impl Instruction {
-    /// Creates a new instruction.
+    /// Creates a new instruction. Accepts anything convertible to a
+    /// [`QubitList`]: an array literal (allocation-free), a `Vec<usize>`, a
+    /// slice, or an existing list.
     ///
     /// # Panics
     ///
     /// Panics when the number of qubits does not match the gate's arity or
     /// when a qubit index is repeated.
-    pub fn new(gate: Gate, qubits: Vec<usize>) -> Self {
+    pub fn new(gate: Gate, qubits: impl Into<QubitList>) -> Self {
+        let qubits = qubits.into();
         assert_eq!(
             gate.num_qubits(),
             qubits.len(),
@@ -42,12 +50,27 @@ impl Instruction {
             gate.num_qubits(),
             qubits
         );
-        for (i, a) in qubits.iter().enumerate() {
-            for b in qubits.iter().skip(i + 1) {
+        let qs = qubits.as_u32();
+        for (i, a) in qs.iter().enumerate() {
+            for b in qs.iter().skip(i + 1) {
                 assert_ne!(a, b, "duplicate qubit {a} in {} instruction", gate.name());
             }
         }
         Self { gate, qubits }
+    }
+
+    /// The qubits the gate acts on, in gate-specific order.
+    pub fn qubits(&self) -> &QubitList {
+        &self.qubits
+    }
+
+    /// The qubit at position `i` of the gate's operand list.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= num_qubits()`.
+    pub fn qubit(&self, i: usize) -> usize {
+        self.qubits.get(i)
     }
 
     /// The number of qubits the instruction touches.
@@ -63,7 +86,7 @@ impl Instruction {
 
     /// Returns `true` when the instruction acts on the given qubit.
     pub fn acts_on(&self, qubit: usize) -> bool {
-        self.qubits.contains(&qubit)
+        self.qubits.contains(qubit)
     }
 
     /// Returns `true` when the two instructions share at least one qubit.
@@ -81,7 +104,7 @@ impl Instruction {
             | Gate::Crx(_)
             | Gate::Cry(_)
             | Gate::Crz(_)
-            | Gate::Cp(_) => Some(self.qubits[0]),
+            | Gate::Cp(_) => Some(self.qubits.get(0)),
             _ => None,
         }
     }
@@ -96,16 +119,17 @@ impl Instruction {
             | Gate::Crx(_)
             | Gate::Cry(_)
             | Gate::Crz(_)
-            | Gate::Cp(_) => Some(self.qubits[1]),
+            | Gate::Cp(_) => Some(self.qubits.get(1)),
             _ => None,
         }
     }
 
-    /// Produces the instruction with every qubit remapped through `f`.
+    /// Produces the instruction with every qubit remapped through `f`
+    /// (allocation-free for fixed-arity gates).
     pub fn map_qubits(&self, f: impl Fn(usize) -> usize) -> Instruction {
         Instruction {
             gate: self.gate.clone(),
-            qubits: self.qubits.iter().map(|&q| f(q)).collect(),
+            qubits: self.qubits.map(f),
         }
     }
 
@@ -143,7 +167,7 @@ mod tests {
         let cx = Instruction::new(Gate::Cx, vec![2, 5]);
         assert_eq!(cx.control(), Some(2));
         assert_eq!(cx.target(), Some(5));
-        let sw = Instruction::new(Gate::Swap, vec![1, 3]);
+        let sw = Instruction::new(Gate::Swap, [1, 3]);
         assert_eq!(sw.control(), None);
     }
 
@@ -161,32 +185,38 @@ mod tests {
 
     #[test]
     fn overlap_detection() {
-        let a = Instruction::new(Gate::Cx, vec![0, 1]);
-        let b = Instruction::new(Gate::Cx, vec![1, 2]);
-        let c = Instruction::new(Gate::H, vec![3]);
+        let a = Instruction::new(Gate::Cx, [0, 1]);
+        let b = Instruction::new(Gate::Cx, [1, 2]);
+        let c = Instruction::new(Gate::H, [3]);
         assert!(a.overlaps(&b));
         assert!(!a.overlaps(&c));
     }
 
     #[test]
     fn qubit_remapping() {
-        let cx = Instruction::new(Gate::Cx, vec![0, 1]);
+        let cx = Instruction::new(Gate::Cx, [0, 1]);
         let mapped = cx.map_qubits(|q| q + 10);
-        assert_eq!(mapped.qubits, vec![10, 11]);
+        assert_eq!(mapped.qubits().to_vec(), vec![10, 11]);
         assert_eq!(mapped.gate, Gate::Cx);
     }
 
     #[test]
     fn inverse_preserves_qubits() {
-        let inst = Instruction::new(Gate::S, vec![4]);
+        let inst = Instruction::new(Gate::S, [4]);
         let inv = inst.inverse();
         assert_eq!(inv.gate, Gate::Sdg);
-        assert_eq!(inv.qubits, vec![4]);
+        assert_eq!(inv.qubits().to_vec(), vec![4]);
     }
 
     #[test]
     fn display_includes_params() {
-        let r = Instruction::new(Gate::Rz(0.5), vec![2]);
+        let r = Instruction::new(Gate::Rz(0.5), [2]);
         assert!(format!("{r}").starts_with("rz(0.5000)"));
+    }
+
+    #[test]
+    fn display_matches_the_old_vec_format() {
+        let cx = Instruction::new(Gate::Cx, [0, 3]);
+        assert_eq!(format!("{cx}"), "cx [0, 3]");
     }
 }

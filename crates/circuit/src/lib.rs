@@ -28,12 +28,14 @@ pub mod circuit;
 pub mod dag;
 pub mod gate;
 pub mod instruction;
+pub mod qubits;
 pub mod unitary;
 
 pub use circuit::{QasmExportError, QuantumCircuit};
 pub use dag::{DagCircuit, DagNode};
 pub use gate::Gate;
 pub use instruction::Instruction;
+pub use qubits::QubitList;
 pub use unitary::{
     apply_instruction, circuit_unitary, circuits_equivalent, circuits_equivalent_up_to_permutation,
     CircuitUnitary,

@@ -97,7 +97,7 @@ pub fn apply_instruction(state: &mut [C64], num_qubits: usize, inst: &Instructio
         Gate::Barrier(_) => {}
         Gate::Measure => panic!("cannot apply a measurement as a unitary"),
         Gate::Ccx => {
-            let (c1, c2, t) = (inst.qubits[0], inst.qubits[1], inst.qubits[2]);
+            let (c1, c2, t) = (inst.qubit(0), inst.qubit(1), inst.qubit(2));
             for idx in 0..state.len() {
                 if (idx >> c1) & 1 == 1 && (idx >> c2) & 1 == 1 && (idx >> t) & 1 == 0 {
                     state.swap(idx, idx | (1 << t));
@@ -105,7 +105,7 @@ pub fn apply_instruction(state: &mut [C64], num_qubits: usize, inst: &Instructio
             }
         }
         Gate::Cswap => {
-            let (c, a, b) = (inst.qubits[0], inst.qubits[1], inst.qubits[2]);
+            let (c, a, b) = (inst.qubit(0), inst.qubit(1), inst.qubit(2));
             for idx in 0..state.len() {
                 let bit_a = (idx >> a) & 1;
                 let bit_b = (idx >> b) & 1;
@@ -119,7 +119,7 @@ pub fn apply_instruction(state: &mut [C64], num_qubits: usize, inst: &Instructio
             let m = gate
                 .matrix2()
                 .expect("single-qubit gate must have a matrix");
-            let q = inst.qubits[0];
+            let q = inst.qubit(0);
             let stride = 1usize << q;
             let dim = 1usize << num_qubits;
             let mut idx = 0;
@@ -135,7 +135,7 @@ pub fn apply_instruction(state: &mut [C64], num_qubits: usize, inst: &Instructio
         }
         gate if gate.num_qubits() == 2 => {
             let m = gate.matrix4().expect("two-qubit gate must have a matrix");
-            let (q0, q1) = (inst.qubits[0], inst.qubits[1]);
+            let (q0, q1) = (inst.qubit(0), inst.qubit(1));
             let dim = 1usize << num_qubits;
             for idx in 0..dim {
                 if (idx >> q0) & 1 == 0 && (idx >> q1) & 1 == 0 {

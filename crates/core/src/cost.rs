@@ -199,8 +199,7 @@ fn commute1_reduction(
         if inst.num_qubits() == 1 && inst.gate.is_unitary() {
             continue;
         }
-        let on_pair =
-            inst.qubits.len() == 2 && inst.qubits.contains(&p1) && inst.qubits.contains(&p2);
+        let on_pair = inst.num_qubits() == 2 && inst.acts_on(p1) && inst.acts_on(p2);
         if on_pair && inst.gate == Gate::Cx {
             if between.is_empty() {
                 // Directly adjacent: the block-resynthesis term already
@@ -211,7 +210,7 @@ fn commute1_reduction(
                 .iter()
                 .all(|other| instructions_commute(inst, other));
             if commutes_past_all {
-                let control = inst.qubits[0];
+                let control = inst.qubit(0);
                 return Some((2.0, SwapOrientation::with_first_control(p1, p2, control)));
             }
             return None;
@@ -240,8 +239,7 @@ fn commute2_reduction(
         if inst.num_qubits() == 1 && inst.gate.is_unitary() {
             continue;
         }
-        let on_pair =
-            inst.qubits.len() == 2 && inst.qubits.contains(&p1) && inst.qubits.contains(&p2);
+        let on_pair = inst.num_qubits() == 2 && inst.acts_on(p1) && inst.acts_on(p2);
         if on_pair && inst.gate == Gate::Swap {
             if between.is_empty() {
                 // Back-to-back SWAPs cancel entirely; the block term covers it.
@@ -250,7 +248,7 @@ fn commute2_reduction(
             // Try both CNOT orientations for the cancelling pair.
             for control in [p1, p2] {
                 let target = if control == p1 { p2 } else { p1 };
-                let probe = Instruction::new(Gate::Cx, vec![control, target]);
+                let probe = Instruction::new(Gate::Cx, [control, target]);
                 if between
                     .iter()
                     .all(|other| instructions_commute(&probe, other))
@@ -323,7 +321,7 @@ fn block_resynthesis_windowed(state: &RoutingState, window: &[u32], p1: usize, p
     let mut has_two_qubit = false;
     for &idx in window {
         let inst = state.instruction(idx as usize);
-        let confined = inst.gate.is_unitary() && inst.qubits.iter().all(|&q| q == p1 || q == p2);
+        let confined = inst.gate.is_unitary() && inst.qubits().iter().all(|q| q == p1 || q == p2);
         if !confined {
             break;
         }
@@ -368,8 +366,7 @@ fn commute1_windowed(
         if inst.num_qubits() == 1 && inst.gate.is_unitary() {
             continue;
         }
-        let on_pair =
-            inst.qubits.len() == 2 && inst.qubits.contains(&p1) && inst.qubits.contains(&p2);
+        let on_pair = inst.num_qubits() == 2 && inst.acts_on(p1) && inst.acts_on(p2);
         if on_pair && inst.gate == Gate::Cx {
             if between_len == 0 {
                 // Directly adjacent: the block-resynthesis term already
@@ -380,7 +377,7 @@ fn commute1_windowed(
                 .iter()
                 .all(|&other| instructions_commute(inst, state.instruction(other as usize)));
             if commutes_past_all {
-                let control = inst.qubits[0];
+                let control = inst.qubit(0);
                 return Some((2.0, SwapOrientation::with_first_control(p1, p2, control)));
             }
             return None;
@@ -409,8 +406,7 @@ fn commute2_windowed(
         if inst.num_qubits() == 1 && inst.gate.is_unitary() {
             continue;
         }
-        let on_pair =
-            inst.qubits.len() == 2 && inst.qubits.contains(&p1) && inst.qubits.contains(&p2);
+        let on_pair = inst.num_qubits() == 2 && inst.acts_on(p1) && inst.acts_on(p2);
         if on_pair && inst.gate == Gate::Swap {
             if between_len == 0 {
                 // Back-to-back SWAPs cancel entirely; the block term covers it.
@@ -419,7 +415,7 @@ fn commute2_windowed(
             // Try both CNOT orientations for the cancelling pair.
             for control in [p1, p2] {
                 let target = if control == p1 { p2 } else { p1 };
-                let probe = Instruction::new(Gate::Cx, vec![control, target]);
+                let probe = Instruction::new(Gate::Cx, [control, target]);
                 if between[..between_len]
                     .iter()
                     .all(|&other| instructions_commute(&probe, state.instruction(other as usize)))
@@ -465,7 +461,7 @@ fn trailing_block(output: &QuantumCircuit, p1: usize, p2: usize) -> Option<Vec<I
         if !(inst.acts_on(p1) || inst.acts_on(p2)) {
             continue;
         }
-        let confined = inst.gate.is_unitary() && inst.qubits.iter().all(|&q| q == p1 || q == p2);
+        let confined = inst.gate.is_unitary() && inst.qubits().iter().all(|q| q == p1 || q == p2);
         if confined {
             block.push(inst.clone());
             if block.len() >= SEARCH_WINDOW {
@@ -498,7 +494,7 @@ fn instruction_matrix(inst: &Instruction, low: usize) -> Matrix4 {
     match inst.num_qubits() {
         1 => {
             let g = inst.gate.matrix2().expect("1q gate in block has matrix");
-            if inst.qubits[0] == low {
+            if inst.qubit(0) == low {
                 Matrix2::identity().kron(&g)
             } else {
                 g.kron(&Matrix2::identity())
@@ -506,7 +502,7 @@ fn instruction_matrix(inst: &Instruction, low: usize) -> Matrix4 {
         }
         _ => {
             let g = inst.gate.matrix4().expect("2q gate in block has matrix");
-            if inst.qubits[0] == low {
+            if inst.qubit(0) == low {
                 g
             } else {
                 g.swap_qubits()

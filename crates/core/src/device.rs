@@ -62,6 +62,29 @@ impl Device {
         Self::new("montreal", CouplingMap::ibmq_montreal())
     }
 
+    /// The 127-qubit IBM Eagle-class heavy-hex device
+    /// ([`CouplingMap::heavy_hex`] at distance 7, the `ibm_washington`
+    /// graph).
+    pub fn eagle() -> Self {
+        Self::new("eagle", CouplingMap::heavy_hex(7))
+    }
+
+    /// The 433-qubit IBM Osprey-class heavy-hex device
+    /// ([`CouplingMap::heavy_hex`] at distance 13).
+    pub fn osprey() -> Self {
+        Self::new("osprey", CouplingMap::heavy_hex(13))
+    }
+
+    /// A heavy-hex lattice of code distance `d` (odd, `>= 3`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `d` is even or `< 3`. The [`FromStr`] path reports the
+    /// same constraint as an error instead.
+    pub fn heavy_hex(d: usize) -> Self {
+        Self::new(format!("heavy-hex:{d}"), CouplingMap::heavy_hex(d))
+    }
+
     /// A 1-D nearest-neighbour chain of `n` qubits (`n >= 2`).
     ///
     /// # Panics
@@ -154,7 +177,8 @@ impl fmt::Display for DeviceParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "invalid device {:?}: expected montreal, linear:<n> (n >= 2) \
+            "invalid device {:?}: expected montreal, eagle, osprey, \
+             heavy-hex:<d> (odd d >= 3), linear:<n> (n >= 2) \
              or grid:<rows>x<cols> (rows*cols >= 2)",
             self.spec
         )
@@ -166,14 +190,27 @@ impl std::error::Error for DeviceParseError {}
 impl FromStr for Device {
     type Err = DeviceParseError;
 
-    /// Parses `montreal`, `linear:<n>` (`n >= 2`) or `grid:<rows>x<cols>`
-    /// (`rows * cols >= 2`).
+    /// Parses `montreal`, `eagle`, `osprey`, `heavy-hex:<d>` (odd `d >= 3`),
+    /// `linear:<n>` (`n >= 2`) or `grid:<rows>x<cols>` (`rows * cols >= 2`).
     fn from_str(spec: &str) -> Result<Self, Self::Err> {
         let reject = || DeviceParseError {
             spec: spec.to_string(),
         };
         if spec == "montreal" {
             return Ok(Self::montreal());
+        }
+        if spec == "eagle" {
+            return Ok(Self::eagle());
+        }
+        if spec == "osprey" {
+            return Ok(Self::osprey());
+        }
+        if let Some(d) = spec.strip_prefix("heavy-hex:") {
+            let d: usize = d.parse().map_err(|_| reject())?;
+            if d < 3 || d.is_multiple_of(2) {
+                return Err(reject());
+            }
+            return Ok(Self::heavy_hex(d));
         }
         if let Some(n) = spec.strip_prefix("linear:") {
             let n: usize = n.parse().map_err(|_| reject())?;
@@ -209,8 +246,31 @@ mod tests {
     }
 
     #[test]
+    fn heavy_hex_constructors_match_their_coupling_maps() {
+        assert_eq!(*Device::eagle().coupling(), CouplingMap::heavy_hex(7));
+        assert_eq!(*Device::osprey().coupling(), CouplingMap::heavy_hex(13));
+        assert_eq!(Device::eagle().num_qubits(), 127);
+        assert_eq!(Device::osprey().num_qubits(), 433);
+        assert_eq!(Device::heavy_hex(5).name(), "heavy-hex:5");
+        assert_eq!(
+            *Device::heavy_hex(7).coupling(),
+            *Device::eagle().coupling()
+        );
+    }
+
+    #[test]
     fn from_str_round_trips_every_named_spec() {
-        for spec in ["montreal", "linear:2", "linear:25", "grid:5x5", "grid:1x2"] {
+        for spec in [
+            "montreal",
+            "eagle",
+            "osprey",
+            "heavy-hex:3",
+            "heavy-hex:7",
+            "linear:2",
+            "linear:25",
+            "grid:5x5",
+            "grid:1x2",
+        ] {
             let device: Device = spec.parse().unwrap();
             assert_eq!(device.name(), spec);
             // The name re-parses to the same device.
@@ -233,6 +293,12 @@ mod tests {
             "grid:0x1",
             "grid:ax b",
             "torus:3x3",
+            "Eagle",
+            "heavy-hex",
+            "heavy-hex:",
+            "heavy-hex:1",
+            "heavy-hex:4",
+            "heavy-hex:x",
         ] {
             let err = spec.parse::<Device>().unwrap_err();
             assert_eq!(err.spec(), spec);

@@ -6,14 +6,14 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use nassc_circuit::{Gate, QuantumCircuit};
+use nassc_circuit::{DagCircuit, Gate, QuantumCircuit};
 use nassc_parallel::ThreadPool;
 use nassc_passes::{
     apply_layout, standard_optimization_pipeline, PassError, PassManager, UnrollToBasis,
 };
 use nassc_sabre::{
-    route_with_policy_on, sabre_layout_on, LayoutTrials, RoutingResult, SabreConfig, SabrePolicy,
-    SwapPolicy,
+    route_prepared, route_with_policy_on, sabre_layout_prepared, LayoutTrials, RoutingResult,
+    SabreConfig, SabrePolicy, SwapPolicy,
 };
 use nassc_synthesis::{swap_decomposition, SwapOrientation};
 use nassc_topology::{
@@ -558,14 +558,32 @@ where
     D: Fn(&RoutingResult, &P) -> QuantumCircuit,
 {
     if options.layout_trials <= 1 {
-        let layout = sabre_layout_on(prepared, coupling, distances, &options.config, score_pool);
-        let (routed, policy) = route_from(
-            prepared,
+        // Build the dependency DAG once per circuit and share it between the
+        // layout search and the production routing pass — at 100k gates the
+        // per-pass rebuild used to dominate the single-trial path.
+        let dag = DagCircuit::from_circuit(prepared);
+        let layout = if prepared.two_qubit_gate_count() == 0 {
+            Layout::trivial(coupling.num_qubits())
+        } else {
+            let reversed_dag = DagCircuit::from_circuit(&prepared.reversed());
+            sabre_layout_prepared(
+                &dag,
+                &reversed_dag,
+                coupling,
+                distances,
+                &options.config,
+                score_pool,
+            )
+        };
+        let mut policy = make_policy();
+        let routed = route_prepared(
+            &dag,
             coupling,
             distances,
             &layout,
-            options,
-            &make_policy,
+            &options.config,
+            &mut policy,
+            &mut StdRng::seed_from_u64(options.config.seed),
             score_pool,
         );
         let decomposed = decompose(&routed, &policy);
@@ -638,8 +656,8 @@ pub fn decompose_swaps_fixed(circuit: &QuantumCircuit) -> QuantumCircuit {
     for inst in circuit.iter() {
         if inst.gate == Gate::Swap {
             for cx in swap_decomposition(
-                inst.qubits[0],
-                inst.qubits[1],
+                inst.qubit(0),
+                inst.qubit(1),
                 SwapOrientation::FirstQubitControl,
             ) {
                 out.push(cx);

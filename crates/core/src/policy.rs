@@ -63,7 +63,7 @@ impl NasscPolicy {
         for (idx, inst) in routed.iter().enumerate() {
             if inst.gate == Gate::Swap {
                 let orientation = self.orientation_of(idx);
-                for cx in swap_decomposition(inst.qubits[0], inst.qubits[1], orientation) {
+                for cx in swap_decomposition(inst.qubit(0), inst.qubit(1), orientation) {
                     out.push(cx);
                 }
             } else {
@@ -112,7 +112,7 @@ impl SwapPolicy for NasscPolicy {
                 Some(last) => {
                     last.gate.is_unitary()
                         && last.num_qubits() == 1
-                        && (last.qubits[0] == p1 || last.qubits[0] == p2)
+                        && (last.qubit(0) == p1 || last.qubit(0) == p2)
                 }
                 None => false,
             };
@@ -120,7 +120,7 @@ impl SwapPolicy for NasscPolicy {
                 break;
             }
             let gate = output.pop().expect("checked non-empty");
-            let other = if gate.qubits[0] == p1 { p2 } else { p1 };
+            let other = if gate.qubit(0) == p1 { p2 } else { p1 };
             self.detached_gates
                 .push(Instruction::new(gate.gate, vec![other]));
         }
@@ -232,7 +232,7 @@ mod tests {
         // The U3 now sits after the SWAP on wire 1.
         let last = output.instructions().last().unwrap();
         assert_eq!(last.gate.name(), "u");
-        assert_eq!(last.qubits, vec![1]);
+        assert_eq!(last.qubits().to_vec(), vec![1]);
         // Semantics: original + SWAP == transformed output.
         let mut reference = before;
         reference.swap(0, 1);

@@ -49,7 +49,7 @@ impl TwoQubitBlock {
             let gate_matrix = match inst.num_qubits() {
                 1 => {
                     let m = inst.gate.matrix2().expect("block gates have matrices");
-                    if inst.qubits[0] == low {
+                    if inst.qubit(0) == low {
                         nassc_math::Matrix2::identity().kron(&m)
                     } else {
                         m.kron(&nassc_math::Matrix2::identity())
@@ -57,7 +57,7 @@ impl TwoQubitBlock {
                 }
                 2 => {
                     let m = inst.gate.matrix4().expect("block gates have matrices");
-                    if inst.qubits[0] == low {
+                    if inst.qubit(0) == low {
                         m
                     } else {
                         m.swap_qubits()
@@ -84,7 +84,7 @@ pub fn collect_two_qubit_blocks(circuit: &QuantumCircuit) -> Vec<TwoQubitBlock> 
         let is_unitary = inst.gate.is_unitary();
         match (is_unitary, inst.num_qubits()) {
             (true, 1) => {
-                let q = inst.qubits[0];
+                let q = inst.qubit(0);
                 if let Some(bid) = open_block[q] {
                     blocks[bid].instruction_indices.push(idx);
                 } else {
@@ -92,7 +92,7 @@ pub fn collect_two_qubit_blocks(circuit: &QuantumCircuit) -> Vec<TwoQubitBlock> 
                 }
             }
             (true, 2) => {
-                let (a, b) = (inst.qubits[0], inst.qubits[1]);
+                let (a, b) = (inst.qubit(0), inst.qubit(1));
                 let same_block = open_block[a].is_some() && open_block[a] == open_block[b];
                 if same_block {
                     let bid = open_block[a].expect("checked above");
@@ -116,7 +116,7 @@ pub fn collect_two_qubit_blocks(circuit: &QuantumCircuit) -> Vec<TwoQubitBlock> 
             }
             _ => {
                 // Barriers, measurements and wider gates cut every touched wire.
-                for &q in &inst.qubits {
+                for q in inst.qubits().iter() {
                     open_block[q] = None;
                     pending_1q[q].clear();
                 }

@@ -37,7 +37,7 @@ pub fn instructions_commute(a: &Instruction, b: &Instruction) -> bool {
 /// suite sweeps the covered pairs against it).
 fn commute_by_unitary(a: &Instruction, b: &Instruction) -> bool {
     // Map the union of qubits onto a compact register.
-    let mut qubits: Vec<usize> = a.qubits.iter().chain(b.qubits.iter()).copied().collect();
+    let mut qubits: Vec<usize> = a.qubits().iter().chain(b.qubits().iter()).collect();
     qubits.sort_unstable();
     qubits.dedup();
     let index_of = |q: usize| qubits.iter().position(|&x| x == q).expect("qubit in union");
@@ -63,7 +63,7 @@ fn commute_fast_path(a: &Instruction, b: &Instruction) -> Option<bool> {
     use nassc_circuit::Gate;
 
     // Any instruction commutes with an identical copy of itself.
-    if a.gate == b.gate && a.qubits == b.qubits {
+    if a.gate == b.gate && a.qubits() == b.qubits() {
         return Some(true);
     }
     match (a.num_qubits(), b.num_qubits()) {
@@ -85,7 +85,7 @@ fn commute_fast_path(a: &Instruction, b: &Instruction) -> Option<bool> {
                 (Gate::Cx, Gate::Cx) => {
                     // CNOTs commute iff they share only controls or only
                     // targets; a control meeting a target does not commute.
-                    let control_clash = a.qubits[0] == b.qubits[1] || a.qubits[1] == b.qubits[0];
+                    let control_clash = a.qubit(0) == b.qubit(1) || a.qubit(1) == b.qubit(0);
                     Some(!control_clash)
                 }
                 // SWAP vs SWAP or vs the exchange-symmetric CZ: on the same
@@ -93,7 +93,7 @@ fn commute_fast_path(a: &Instruction, b: &Instruction) -> Option<bool> {
                 // immaterial for both), so they commute; any partial overlap
                 // relabels a wire the other gate uses and never commutes.
                 (Gate::Swap, Gate::Swap | Gate::Cz) | (Gate::Cz, Gate::Swap) => {
-                    Some(a.qubits.contains(&b.qubits[0]) && a.qubits.contains(&b.qubits[1]))
+                    Some(a.acts_on(b.qubit(0)) && a.acts_on(b.qubit(1)))
                 }
                 // CX is *not* exchange-symmetric: a SWAP on its own pair
                 // flips control and target.
@@ -101,8 +101,8 @@ fn commute_fast_path(a: &Instruction, b: &Instruction) -> Option<bool> {
                 // A diagonal gate commutes with a CNOT iff it avoids the
                 // target wire (`cz` is fixed and never trivial, so touching
                 // the target is a definite no).
-                (Gate::Cz, Gate::Cx) => Some(!a.qubits.contains(&b.qubits[1])),
-                (Gate::Cx, Gate::Cz) => Some(!b.qubits.contains(&a.qubits[1])),
+                (Gate::Cz, Gate::Cx) => Some(!a.acts_on(b.qubit(1))),
+                (Gate::Cx, Gate::Cz) => Some(!b.acts_on(a.qubit(1))),
                 _ => None,
             }
         }
@@ -120,11 +120,11 @@ fn one_qubit_vs_two(one: &Instruction, two: &Instruction) -> Option<bool> {
     use nassc_circuit::Gate;
 
     let m = one.gate.matrix2()?;
-    let q = one.qubits[0];
+    let q = one.qubit(0);
     let diagonal = m.get(0, 1).abs() <= COMMUTE_TOL && m.get(1, 0).abs() <= COMMUTE_TOL;
     match two.gate {
         Gate::Cx => {
-            if q == two.qubits[0] {
+            if q == two.qubit(0) {
                 Some(diagonal)
             } else {
                 // Commutes with the target's Pauli-X iff symmetric with
@@ -195,7 +195,7 @@ impl CommutationSets {
 pub fn commutation_analysis(circuit: &QuantumCircuit, max_set_size: usize) -> CommutationSets {
     let mut sets: Vec<Vec<Vec<usize>>> = vec![Vec::new(); circuit.num_qubits()];
     for (idx, inst) in circuit.iter().enumerate() {
-        for &q in &inst.qubits {
+        for q in inst.qubits().iter() {
             let wire_sets = &mut sets[q];
             let joins_current = wire_sets.last().is_some_and(|current| {
                 current.len() < max_set_size
@@ -278,7 +278,7 @@ fn cancel_once(circuit: &QuantumCircuit, max_set_size: usize) -> (QuantumCircuit
                 if !inst.gate.is_self_inverse() || removed[idx] {
                     continue;
                 }
-                let key = format!("{}:{:?}", inst.gate.name(), inst.qubits);
+                let key = format!("{}:{:?}", inst.gate.name(), inst.qubits());
                 groups.entry(key).or_default().push(idx);
             }
             for candidates in groups.values() {
@@ -294,7 +294,7 @@ fn cancel_once(circuit: &QuantumCircuit, max_set_size: usize) -> (QuantumCircuit
                             // Multi-qubit cancellations must be legal on every
                             // wire the gate touches, not just this one.
                             let ok_everywhere =
-                                inst.qubits.iter().all(|&q| sets.same_set(q, first, idx));
+                                inst.qubits().iter().all(|q| sets.same_set(q, first, idx));
                             if ok_everywhere {
                                 removed[first] = true;
                                 removed[idx] = true;

@@ -30,7 +30,7 @@ pub fn coupling_violations(circuit: &QuantumCircuit, coupling: &CouplingMap) -> 
         .iter()
         .enumerate()
         .filter(|(_, inst)| {
-            inst.is_two_qubit() && !coupling.are_connected(inst.qubits[0], inst.qubits[1])
+            inst.is_two_qubit() && !coupling.are_connected(inst.qubit(0), inst.qubit(1))
         })
         .map(|(idx, _)| idx)
         .collect()
@@ -52,8 +52,8 @@ mod tests {
         let layout = Layout::from_logical_to_physical(vec![3, 1, 0, 2, 4]);
         let mapped = apply_layout(&qc, &layout, 5);
         assert_eq!(mapped.num_qubits(), 5);
-        assert_eq!(mapped.instructions()[0].qubits, vec![3]);
-        assert_eq!(mapped.instructions()[1].qubits, vec![3, 1]);
+        assert_eq!(mapped.instructions()[0].qubits().to_vec(), vec![3]);
+        assert_eq!(mapped.instructions()[1].qubits().to_vec(), vec![3, 1]);
     }
 
     #[test]

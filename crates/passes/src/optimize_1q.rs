@@ -49,11 +49,11 @@ impl TranspilePass for Optimize1qGates {
                 let m = inst.gate.matrix2().ok_or_else(|| {
                     PassError::new("optimize-1q-gates", "single-qubit gate without matrix")
                 })?;
-                let q = inst.qubits[0];
+                let q = inst.qubit(0);
                 let acc = pending[q].take().unwrap_or_else(Matrix2::identity);
                 pending[q] = Some(m.mul(&acc));
             } else {
-                for &q in &inst.qubits {
+                for q in inst.qubits().iter() {
                     flush(&mut out, &mut pending, q);
                 }
                 out.push(inst.clone());
@@ -91,11 +91,11 @@ impl TranspilePass for Collect1qRuns {
                 let m = inst.gate.matrix2().ok_or_else(|| {
                     PassError::new("collect-1q-runs", "single-qubit gate without matrix")
                 })?;
-                let q = inst.qubits[0];
+                let q = inst.qubit(0);
                 let acc = pending[q].take().unwrap_or_else(Matrix2::identity);
                 pending[q] = Some(m.mul(&acc));
             } else {
-                for &q in &inst.qubits {
+                for q in inst.qubits().iter() {
                     flush(&mut out, &mut pending, q);
                 }
                 out.push(inst.clone());
@@ -120,7 +120,7 @@ mod tests {
         let out = Optimize1qGates.run(&qc).unwrap();
         // h·h cancels, x(1) stays.
         assert_eq!(out.num_gates(), 1);
-        assert_eq!(out.instructions()[0].qubits, vec![1]);
+        assert_eq!(out.instructions()[0].qubits().to_vec(), vec![1]);
     }
 
     #[test]
@@ -152,7 +152,7 @@ mod tests {
         // dropped entirely.
         assert!(!out
             .iter()
-            .any(|i| i.qubits == vec![2] && i.gate.is_unitary()));
+            .any(|i| i.qubits().to_vec() == vec![2] && i.gate.is_unitary()));
     }
 
     #[test]

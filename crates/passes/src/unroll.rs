@@ -52,17 +52,17 @@ fn unroll_instruction(inst: &Instruction) -> Result<Vec<Instruction>, PassError>
     }
     match &inst.gate {
         Gate::Swap => Ok(nassc_synthesis::swap_decomposition(
-            inst.qubits[0],
-            inst.qubits[1],
+            inst.qubit(0),
+            inst.qubit(1),
             nassc_synthesis::SwapOrientation::FirstQubitControl,
         )),
-        Gate::Ccx => Ok(toffoli(inst.qubits[0], inst.qubits[1], inst.qubits[2])
+        Gate::Ccx => Ok(toffoli(inst.qubit(0), inst.qubit(1), inst.qubit(2))
             .into_iter()
             .flat_map(|i| unroll_instruction(&i).expect("toffoli gates are simple"))
             .collect()),
         Gate::Cswap => {
             // CSWAP(c, a, b) = CX(b, a) · CCX(c, a, b) · CX(b, a).
-            let (c, a, b) = (inst.qubits[0], inst.qubits[1], inst.qubits[2]);
+            let (c, a, b) = (inst.qubit(0), inst.qubit(1), inst.qubit(2));
             let mut gates = vec![Instruction::new(Gate::Cx, vec![b, a])];
             gates.extend(toffoli(c, a, b));
             gates.push(Instruction::new(Gate::Cx, vec![b, a]));
@@ -75,13 +75,13 @@ fn unroll_instruction(inst: &Instruction) -> Result<Vec<Instruction>, PassError>
             let m = gate.matrix2().ok_or_else(|| {
                 PassError::new("unroll-to-basis", format!("no matrix for {}", gate.name()))
             })?;
-            Ok(OneQubitEulerDecomposer::to_zsx(&m, inst.qubits[0]))
+            Ok(OneQubitEulerDecomposer::to_zsx(&m, inst.qubit(0)))
         }
         gate if gate.num_qubits() == 2 => {
             let m = gate.matrix4().ok_or_else(|| {
                 PassError::new("unroll-to-basis", format!("no matrix for {}", gate.name()))
             })?;
-            let synthesized = synthesize_two_qubit(&m, inst.qubits[0], inst.qubits[1])
+            let synthesized = synthesize_two_qubit(&m, inst.qubit(0), inst.qubit(1))
                 .map_err(|e| PassError::new("unroll-to-basis", e.to_string()))?;
             Ok(synthesized
                 .into_iter()

@@ -219,7 +219,7 @@ ccx q[0],q[1],q[2]; cswap q[0],q[1],q[2];
         );
         let gates: Vec<&str> = qc.iter().map(|i| i.gate.name()).collect();
         assert_eq!(gates, vec!["cx", "cx", "ccx", "rz", "rx"]);
-        assert_eq!(qc.instructions()[0].qubits, vec![2, 1]);
+        assert_eq!(qc.instructions()[0].qubits().to_vec(), vec![2, 1]);
         assert_eq!(qc.instructions()[3].gate, Gate::Rz(PI / 2.0));
         assert_eq!(qc.instructions()[4].gate, Gate::Rx(-PI));
     }
@@ -234,7 +234,7 @@ ccx q[0],q[1],q[2]; cswap q[0],q[1],q[2];
         );
         let gates: Vec<&str> = qc.iter().map(|i| i.gate.name()).collect();
         assert_eq!(gates, vec!["h", "barrier", "h"]);
-        assert_eq!(qc.instructions()[1].qubits, vec![0, 1]);
+        assert_eq!(qc.instructions()[1].qubits().to_vec(), vec![0, 1]);
     }
 
     #[test]
@@ -272,7 +272,7 @@ ccx q[0],q[1],q[2]; cswap q[0],q[1],q[2];
         );
         let gates: Vec<(&str, Vec<usize>)> = qc
             .iter()
-            .map(|i| (i.gate.name(), i.qubits.clone()))
+            .map(|i| (i.gate.name(), i.qubits().to_vec()))
             .collect();
         assert_eq!(
             gates,
@@ -294,8 +294,8 @@ ccx q[0],q[1],q[2]; cswap q[0],q[1],q[2];
     fn multiple_qregs_flatten_in_declaration_order() {
         let qc = parse_ok("OPENQASM 2.0;\nqreg a[2];\nqreg b[3];\nx b[0];\nx a[1];\n");
         assert_eq!(qc.num_qubits(), 5);
-        assert_eq!(qc.instructions()[0].qubits, vec![2]);
-        assert_eq!(qc.instructions()[1].qubits, vec![1]);
+        assert_eq!(qc.instructions()[0].qubits().to_vec(), vec![2]);
+        assert_eq!(qc.instructions()[1].qubits().to_vec(), vec![1]);
     }
 
     #[test]

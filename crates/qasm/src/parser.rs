@@ -327,7 +327,9 @@ impl Parser {
         while self.peek().is_some() {
             self.parse_statement()?;
         }
-        let mut circuit = QuantumCircuit::new(self.num_qubits);
+        // Pre-size the circuit: 100k-gate ingest must not re-grow the
+        // instruction buffer while the range-checking push loop runs.
+        let mut circuit = QuantumCircuit::with_capacity(self.num_qubits, self.instructions.len());
         for instruction in self.instructions.drain(..) {
             circuit.push(instruction);
         }

@@ -75,15 +75,32 @@ pub fn sabre_layout_on(
     if circuit.two_qubit_gate_count() == 0 {
         return Layout::trivial(coupling.num_qubits());
     }
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut layout = Layout::random(coupling.num_qubits(), &mut rng);
     // The refinement rounds route the same two circuits over and over;
     // build each dependency DAG once instead of once per pass.
     let dag = DagCircuit::from_circuit(circuit);
     let reversed_dag = DagCircuit::from_circuit(&circuit.reversed());
+    sabre_layout_prepared(&dag, &reversed_dag, coupling, distances, config, score_pool)
+}
+
+/// [`sabre_layout_on`] over prebuilt forward/reversed dependency DAGs.
+///
+/// The single-trial pipeline builds the DAG once per circuit and shares it
+/// between the layout search and the production routing pass, instead of
+/// rebuilding it per pass. Outputs are bit-identical to [`sabre_layout_on`]
+/// for matching DAGs.
+pub fn sabre_layout_prepared(
+    dag: &DagCircuit,
+    reversed_dag: &DagCircuit,
+    coupling: &CouplingMap,
+    distances: &DistanceMatrix,
+    config: &SabreConfig,
+    score_pool: &ThreadPool,
+) -> Layout {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut layout = Layout::random(coupling.num_qubits(), &mut rng);
     for _ in 0..config.layout_iterations {
         let forward = route_prepared(
-            &dag,
+            dag,
             coupling,
             distances,
             &layout,
@@ -93,7 +110,7 @@ pub fn sabre_layout_on(
             score_pool,
         );
         let backward = route_prepared(
-            &reversed_dag,
+            reversed_dag,
             coupling,
             distances,
             &forward.final_layout,

@@ -49,8 +49,8 @@ pub mod state;
 
 pub use config::SabreConfig;
 pub use layout::{
-    sabre_layout, sabre_layout_on, select_best_trial, split_seed, LayoutSelection, LayoutTrials,
-    TrialOutcome,
+    sabre_layout, sabre_layout_on, sabre_layout_prepared, select_best_trial, split_seed,
+    LayoutSelection, LayoutTrials, TrialOutcome,
 };
 pub use router::{
     route_prepared, route_with_policy, route_with_policy_on, sabre_route, RoutingContext,

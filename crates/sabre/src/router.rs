@@ -75,8 +75,8 @@ impl StepEndpoints {
         let resolve = |node: &usize| {
             let inst = &dag.node(*node).instruction;
             (
-                layout.physical_of(inst.qubits[0]) as u32,
-                layout.physical_of(inst.qubits[1]) as u32,
+                layout.physical_of(inst.qubit(0)) as u32,
+                layout.physical_of(inst.qubit(1)) as u32,
             )
         };
         self.front.clear();
@@ -164,8 +164,8 @@ impl<'a> RoutingContext<'a> {
             .iter()
             .map(|&node| {
                 let inst = &self.dag.node(node).instruction;
-                let a = layout.physical_of(inst.qubits[0]);
-                let b = layout.physical_of(inst.qubits[1]);
+                let a = layout.physical_of(inst.qubit(0));
+                let b = layout.physical_of(inst.qubit(1));
                 self.distances.weight(a, b)
             })
             .sum()
@@ -177,8 +177,8 @@ impl<'a> RoutingContext<'a> {
             .iter()
             .map(|&node| {
                 let inst = &self.dag.node(node).instruction;
-                let a = layout.physical_of(inst.qubits[0]);
-                let b = layout.physical_of(inst.qubits[1]);
+                let a = layout.physical_of(inst.qubit(0));
+                let b = layout.physical_of(inst.qubit(1));
                 self.distances.weight(a, b)
             })
             .sum()
@@ -424,8 +424,8 @@ pub fn route_prepared<P: SwapPolicy + Sync>(
                 }
                 let inst = &dag.node(node).instruction;
                 let runnable = if inst.is_two_qubit() {
-                    let a = layout.physical_of(inst.qubits[0]);
-                    let b = layout.physical_of(inst.qubits[1]);
+                    let a = layout.physical_of(inst.qubit(0));
+                    let b = layout.physical_of(inst.qubit(1));
                     coupling.are_connected(a, b)
                 } else {
                     true
@@ -478,7 +478,7 @@ pub fn route_prepared<P: SwapPolicy + Sync>(
         // preserved, so the shuffle below sees the same vector as ever).
         candidates.clear();
         for &node in &front {
-            for &logical in &dag.node(node).instruction.qubits {
+            for logical in dag.node(node).instruction.qubits().iter() {
                 let p = layout.physical_of(logical);
                 for &n in coupling.neighbors(p) {
                     let edge = (p.min(n), p.max(n));
@@ -527,7 +527,7 @@ pub fn route_prepared<P: SwapPolicy + Sync>(
         let ((p1, p2), _) = best.expect("at least one SWAP candidate");
 
         policy.before_swap_emit(&mut state, &layout, p1, p2);
-        state.push(nassc_circuit::Instruction::new(Gate::Swap, vec![p1, p2]));
+        state.push(nassc_circuit::Instruction::new(Gate::Swap, [p1, p2]));
         let swap_index = state.num_gates() - 1;
         policy.after_swap_emit(&mut state, swap_index, p1, p2);
         layout.swap_physical(p1, p2);
@@ -787,7 +787,7 @@ mod tests {
             .circuit
             .iter()
             .filter(|i| i.gate == Gate::Measure)
-            .map(|i| i.qubits[0])
+            .map(|i| i.qubit(0))
             .collect();
         assert_eq!(measures.len(), 2);
         assert!(measures.contains(&2) || measures.contains(&1));

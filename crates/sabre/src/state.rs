@@ -97,7 +97,7 @@ impl RoutingState {
     /// Appends an instruction, indexing it on every qubit it touches. O(arity).
     pub fn push(&mut self, instruction: Instruction) {
         let index = self.circuit.num_gates() as u32;
-        for &q in &instruction.qubits {
+        for q in instruction.qubits().iter() {
             self.touched[q].push(index);
         }
         self.circuit.push(instruction);
@@ -107,7 +107,7 @@ impl RoutingState {
     pub fn pop(&mut self) -> Option<Instruction> {
         let instruction = self.circuit.pop()?;
         let index = self.circuit.num_gates() as u32;
-        for &q in &instruction.qubits {
+        for q in instruction.qubits().iter() {
             let popped = self.touched[q].pop();
             debug_assert_eq!(popped, Some(index), "touch list out of sync on pop");
         }

@@ -6,7 +6,8 @@
 //! ```
 //!
 //! Every `--device <spec>` adds a served device (specs as accepted by
-//! `Device::from_str`: `montreal`, `linear:<n>`, `grid:<rows>x<cols>`); the
+//! `Device::from_str`: `montreal`, `eagle`, `osprey`, `heavy-hex:<d>`,
+//! `linear:<n>`, `grid:<rows>x<cols>`); the
 //! first one is the default for requests without `?device=`. SIGINT/SIGTERM
 //! drain in-flight requests before exit.
 

@@ -55,10 +55,10 @@ impl NoiseModel {
         match inst.num_qubits() {
             1 => self
                 .calibration
-                .sq_error(inst.qubits[0].min(self.coupling_qubits - 1)),
+                .sq_error(inst.qubit(0).min(self.coupling_qubits - 1)),
             2 => self
                 .calibration
-                .cx_error(inst.qubits[0], inst.qubits[1])
+                .cx_error(inst.qubit(0), inst.qubit(1))
                 .unwrap_or(self.default_cx_error),
             _ => self.default_cx_error * 3.0,
         }

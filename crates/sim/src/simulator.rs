@@ -42,7 +42,7 @@ impl CompactCircuit {
         let mut measured: Vec<usize> = compact
             .iter()
             .filter(|i| i.gate == Gate::Measure)
-            .map(|i| i.qubits[0])
+            .map(|i| i.qubit(0))
             .collect();
         if measured.is_empty() {
             measured = (0..active.len()).collect();
@@ -139,7 +139,7 @@ pub fn noisy_counts(
             let original = inst.map_qubits(|q| compact.original_of(q));
             let p_err = noise.gate_error(&original);
             if p_err > 0.0 && rng.gen_bool(p_err.min(1.0)) {
-                for &q in &inst.qubits {
+                for q in inst.qubits().iter() {
                     match rng.gen_range(0..3) {
                         0 => apply_instruction(&mut state, n, &Instruction::new(Gate::X, vec![q])),
                         1 => apply_instruction(&mut state, n, &Instruction::new(Gate::Y, vec![q])),

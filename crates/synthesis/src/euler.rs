@@ -240,7 +240,7 @@ mod tests {
         let gates = OneQubitEulerDecomposer::to_zsx(&m, 3);
         assert_eq!(gates.len(), 1);
         assert_eq!(gates[0].gate.name(), "rz");
-        assert_eq!(gates[0].qubits, vec![3]);
+        assert_eq!(gates[0].qubits().to_vec(), vec![3]);
     }
 
     #[test]

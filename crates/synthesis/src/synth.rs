@@ -390,9 +390,9 @@ mod tests {
             assert!(circuit_matrix(&circ).approx_eq_up_to_phase(&Matrix4::swap(), 1e-10));
         }
         let a = swap_decomposition(4, 7, SwapOrientation::FirstQubitControl);
-        assert_eq!(a[0].qubits, vec![4, 7]);
+        assert_eq!(a[0].qubits().to_vec(), vec![4, 7]);
         let b = swap_decomposition(4, 7, SwapOrientation::SecondQubitControl);
-        assert_eq!(b[0].qubits, vec![7, 4]);
+        assert_eq!(b[0].qubits().to_vec(), vec![7, 4]);
     }
 
     #[test]

@@ -130,6 +130,70 @@ impl CouplingMap {
         Self::new(27, &edges)
     }
 
+    /// A heavy-hex lattice of code distance `d` (odd, `>= 3`), the topology
+    /// family of IBM's Falcon/Eagle/Osprey processors.
+    ///
+    /// The lattice is `d` rows of qubits (row 0 omits its rightmost column,
+    /// row `d-1` its leftmost) joined by `d-1` gaps of rung qubits; rungs sit
+    /// on columns `≡ 0 (mod 4)` in even gaps and `≡ 2 (mod 4)` in odd gaps,
+    /// each connecting the same-column qubits of the two adjacent rows.
+    /// `heavy_hex(7)` reproduces the 127-qubit / 144-edge Eagle graph
+    /// (`ibm_washington`); `heavy_hex(13)` the 433-qubit Osprey graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `d` is even or `< 3`.
+    pub fn heavy_hex(d: usize) -> Self {
+        assert!(
+            d >= 3 && d % 2 == 1,
+            "heavy-hex distance must be odd and >= 3, got {d}"
+        );
+        let width = 2 * d + 1;
+        let row_cols = |r: usize| {
+            if r == 0 {
+                0..width - 1
+            } else if r == d - 1 {
+                1..width
+            } else {
+                0..width
+            }
+        };
+        let mut index = 0usize;
+        let mut row_at = vec![vec![usize::MAX; width]; d];
+        let mut edges = Vec::new();
+        // Per-gap rung qubits as (column, qubit index), interleaved with the
+        // rows so numbering runs row 0, gap 0, row 1, gap 1, ... row d-1.
+        let mut rungs: Vec<Vec<(usize, usize)>> = Vec::new();
+        for (r, row) in row_at.iter_mut().enumerate() {
+            let mut prev = None;
+            for c in row_cols(r) {
+                row[c] = index;
+                if let Some(p) = prev {
+                    edges.push((p, index));
+                }
+                prev = Some(index);
+                index += 1;
+            }
+            if r + 1 < d {
+                let mut gap = Vec::new();
+                let mut c = if r % 2 == 0 { 0 } else { 2 };
+                while c < width {
+                    gap.push((c, index));
+                    index += 1;
+                    c += 4;
+                }
+                rungs.push(gap);
+            }
+        }
+        for (g, gap) in rungs.iter().enumerate() {
+            for &(c, q) in gap {
+                edges.push((row_at[g][c], q));
+                edges.push((row_at[g + 1][c], q));
+            }
+        }
+        Self::new(index, &edges)
+    }
+
     /// The number of qubits (nodes).
     pub fn num_qubits(&self) -> usize {
         self.num_qubits
@@ -283,6 +347,50 @@ mod tests {
         assert!(m.are_connected(0, 1));
         assert!(m.are_connected(25, 26));
         assert!(!m.are_connected(0, 26));
+    }
+
+    #[test]
+    fn heavy_hex_reproduces_eagle_and_osprey() {
+        // d=7 is the 127-qubit Eagle graph (ibm_washington): 144 edges.
+        let eagle = CouplingMap::heavy_hex(7);
+        assert_eq!(eagle.num_qubits(), 127);
+        assert_eq!(eagle.edges().len(), 144);
+        // d=13 is the 433-qubit Osprey graph.
+        let osprey = CouplingMap::heavy_hex(13);
+        assert_eq!(osprey.num_qubits(), 433);
+        assert_eq!(osprey.edges().len(), 504);
+    }
+
+    #[test]
+    fn heavy_hex_shares_the_montreal_invariants() {
+        // Same checks the published Montreal heavy-hex test pins: connected,
+        // degree <= 3, symmetric distances. Rung qubits have degree exactly 2.
+        for d in [3usize, 5, 7] {
+            let m = CouplingMap::heavy_hex(d);
+            assert!(m.is_connected(), "heavy_hex({d}) must be connected");
+            assert!(
+                (0..m.num_qubits()).all(|q| m.degree(q) <= 3),
+                "heavy_hex({d}) exceeds degree 3"
+            );
+            // Handshake: every edge counted twice across degrees.
+            let total: usize = (0..m.num_qubits()).map(|q| m.degree(q)).sum();
+            assert_eq!(total, 2 * m.edges().len());
+            let dist = m.distance_matrix();
+            for i in 0..m.num_qubits() {
+                assert_eq!(dist.hops(i, i), 0);
+                for j in 0..m.num_qubits() {
+                    assert_eq!(dist.hops(i, j), dist.hops(j, i));
+                }
+            }
+        }
+        // The smallest member of the family.
+        assert_eq!(CouplingMap::heavy_hex(3).num_qubits(), 23);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be odd")]
+    fn heavy_hex_rejects_even_distance() {
+        let _ = CouplingMap::heavy_hex(4);
     }
 
     #[test]

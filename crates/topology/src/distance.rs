@@ -6,10 +6,17 @@
 /// floating-point weights (used by the noise-aware HA-style distance of
 /// Eq. 3 in the paper, where an edge's weight mixes its error rate, duration
 /// and unit distance).
+/// Sentinel for "unreachable" in the compact hop storage; surfaced to
+/// callers as `usize::MAX` so the public API is unchanged.
+const UNREACHABLE: u32 = u32::MAX;
+
 #[derive(Debug, Clone, PartialEq)]
 pub struct DistanceMatrix {
     n: usize,
-    hops: Vec<usize>,
+    // Hop counts are stored as u32 — at 433 qubits (IBM Osprey) the n² hop
+    // table drops from 1.5 MB to 750 KB and halves the cache traffic of the
+    // routing hot loop. Device diameters are tiny, so u32 never saturates.
+    hops: Vec<u32>,
     weights: Vec<f64>,
 }
 
@@ -27,6 +34,7 @@ impl DistanceMatrix {
                 }
             })
             .collect();
+        let hops = hops.into_iter().map(Self::compact_hop).collect();
         Self { n, hops, weights }
     }
 
@@ -38,13 +46,21 @@ impl DistanceMatrix {
             .iter()
             .map(|&w| {
                 if w.is_finite() {
-                    w.round() as usize
+                    Self::compact_hop(w.round() as usize)
                 } else {
-                    usize::MAX
+                    UNREACHABLE
                 }
             })
             .collect();
         Self { n, hops, weights }
+    }
+
+    fn compact_hop(h: usize) -> u32 {
+        if h == usize::MAX {
+            UNREACHABLE
+        } else {
+            u32::try_from(h).expect("hop count exceeds u32 range")
+        }
     }
 
     /// The number of physical qubits.
@@ -55,7 +71,12 @@ impl DistanceMatrix {
     /// Hop-count distance between two physical qubits
     /// (`usize::MAX` when unreachable).
     pub fn hops(&self, a: usize, b: usize) -> usize {
-        self.hops[a * self.n + b]
+        let h = self.hops[a * self.n + b];
+        if h == UNREACHABLE {
+            usize::MAX
+        } else {
+            h as usize
+        }
     }
 
     /// Weighted distance between two physical qubits.
@@ -75,9 +96,9 @@ impl DistanceMatrix {
         self.hops
             .iter()
             .copied()
-            .filter(|&h| h != usize::MAX)
+            .filter(|&h| h != UNREACHABLE)
             .max()
-            .unwrap_or(0)
+            .unwrap_or(0) as usize
     }
 }
 
