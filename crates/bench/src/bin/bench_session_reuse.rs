@@ -52,7 +52,7 @@ fn job_grid(suite: &[Benchmark], runs: usize, layout_trials: usize) -> Vec<Sessi
 
 /// Sum of per-result transpile times — scheduling-noise-resistant, unlike
 /// wall clock, because it never counts idle workers.
-fn transpile_seconds(results: &[Result<TranspileResult, nassc::passes::PassError>]) -> f64 {
+fn transpile_seconds(results: &[Result<TranspileResult, nassc::Error>]) -> f64 {
     results
         .iter()
         .map(|r| r.as_ref().expect("transpile").elapsed.as_secs_f64())

@@ -26,6 +26,7 @@
 
 pub mod circuit;
 pub mod dag;
+pub mod failpoints;
 pub mod gate;
 pub mod instruction;
 pub mod qubits;

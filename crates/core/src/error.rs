@@ -11,7 +11,16 @@
 //!
 //! Service front ends should branch on [`Error::kind`], the stable
 //! classification, rather than on display strings: the daemon derives its
-//! HTTP statuses from it (parse → 400, too wide → 422, pass → 500).
+//! HTTP statuses from it (parse → 400, too wide → 422, pass/internal → 500,
+//! deadline → 504).
+//!
+//! Two kinds exist for fault containment rather than for ordinary failures:
+//! [`Error::Internal`] is what the session's `catch_unwind` boundary turns a
+//! panicking pass or routing step into (the panic never escapes the
+//! [`Transpiler`]), and [`Error::Deadline`] is a transpile cooperatively
+//! aborted mid-flight because its [`TranspileOptions::deadline`] expired.
+//!
+//! [`TranspileOptions::deadline`]: crate::pipeline::TranspileOptions::deadline
 //!
 //! [`Transpiler`]: crate::session::Transpiler
 
@@ -33,6 +42,12 @@ pub enum ErrorKind {
     /// An optimization or layout pass failed (our fault: internal error →
     /// HTTP 500).
     Pass,
+    /// A panic was caught at the session boundary (our fault, contained:
+    /// internal error → HTTP 500).
+    Internal,
+    /// The transpile exceeded its deadline and was aborted mid-flight
+    /// (HTTP 504).
+    Deadline,
 }
 
 /// Any error the session API can produce: a QASM parse/export failure, a
@@ -50,6 +65,24 @@ pub enum Error {
         /// Qubits the device provides.
         device_qubits: usize,
     },
+    /// A panic caught at the session boundary: the fault is contained — the
+    /// session and its caches stay serviceable — and reported with the
+    /// pipeline site it unwound from plus a best-effort payload message.
+    Internal {
+        /// Where the panic was caught (`prepare`, `transpile`, …).
+        site: String,
+        /// Best-effort rendering of the panic payload.
+        message: String,
+    },
+    /// The transpile exceeded [`TranspileOptions::deadline`] and was
+    /// cooperatively aborted at the next checkpoint (per layout trial, per
+    /// routing step, per optimization pass).
+    ///
+    /// [`TranspileOptions::deadline`]: crate::pipeline::TranspileOptions::deadline
+    Deadline {
+        /// The configured deadline, in milliseconds.
+        limit_ms: u64,
+    },
 }
 
 impl Error {
@@ -62,6 +95,22 @@ impl Error {
         }
     }
 
+    /// An [`Internal`](Self::Internal) error for a panic caught at `site`.
+    pub fn internal(site: impl Into<String>, message: impl Into<String>) -> Self {
+        Error::Internal {
+            site: site.into(),
+            message: message.into(),
+        }
+    }
+
+    /// A [`Deadline`](Self::Deadline) error for a transpile that exceeded
+    /// its budget.
+    pub fn deadline(limit: std::time::Duration) -> Self {
+        Error::Deadline {
+            limit_ms: limit.as_millis() as u64,
+        }
+    }
+
     /// The stable classification of this error — what service front ends
     /// should branch on (the daemon maps it to HTTP statuses).
     pub fn kind(&self) -> ErrorKind {
@@ -69,6 +118,8 @@ impl Error {
             Error::Pass(_) => ErrorKind::Pass,
             Error::Qasm(_) => ErrorKind::Parse,
             Error::TooWide { .. } => ErrorKind::TooWide,
+            Error::Internal { .. } => ErrorKind::Internal,
+            Error::Deadline { .. } => ErrorKind::Deadline,
         }
     }
 }
@@ -85,6 +136,12 @@ impl fmt::Display for Error {
                 f,
                 "circuit needs {circuit_qubits} qubits but the device has {device_qubits}"
             ),
+            Error::Internal { site, message } => {
+                write!(f, "internal error (contained panic in {site}): {message}")
+            }
+            Error::Deadline { limit_ms } => {
+                write!(f, "transpile exceeded its {limit_ms} ms deadline")
+            }
         }
     }
 }
@@ -95,6 +152,8 @@ impl std::error::Error for Error {
             Error::Pass(e) => Some(e),
             Error::Qasm(e) => Some(e),
             Error::TooWide { .. } => None,
+            Error::Internal { .. } => None,
+            Error::Deadline { .. } => None,
         }
     }
 }
@@ -139,6 +198,27 @@ mod tests {
         assert_eq!(pass.kind(), ErrorKind::Pass);
         assert_eq!(qasm.kind(), ErrorKind::Parse);
         assert_eq!(wide.kind(), ErrorKind::TooWide);
+        let internal = Error::internal("transpile", "index out of bounds");
+        assert_eq!(internal.kind(), ErrorKind::Internal);
+        let deadline = Error::deadline(std::time::Duration::from_millis(250));
+        assert_eq!(deadline.kind(), ErrorKind::Deadline);
+    }
+
+    #[test]
+    fn containment_errors_render_their_context() {
+        let internal = Error::internal("prepare", "boom");
+        assert_eq!(
+            internal.to_string(),
+            "internal error (contained panic in prepare): boom"
+        );
+        let deadline = Error::deadline(std::time::Duration::from_millis(250));
+        assert_eq!(
+            deadline.to_string(),
+            "transpile exceeded its 250 ms deadline"
+        );
+        for e in [&internal, &deadline] {
+            assert!(std::error::Error::source(e).is_none());
+        }
     }
 
     #[test]

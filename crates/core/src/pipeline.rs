@@ -7,12 +7,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use nassc_circuit::{DagCircuit, Gate, QuantumCircuit};
-use nassc_parallel::ThreadPool;
+use nassc_parallel::{Budget, ThreadPool};
 use nassc_passes::{
     apply_layout, standard_optimization_pipeline, PassError, PassManager, UnrollToBasis,
 };
 use nassc_sabre::{
-    route_prepared, route_with_policy_on, sabre_layout_prepared, LayoutTrials, RoutingResult,
+    route_prepared_budgeted, sabre_layout_prepared_budgeted, LayoutTrials, RoutingResult,
     SabreConfig, SabrePolicy, SwapPolicy,
 };
 use nassc_synthesis::{swap_decomposition, SwapOrientation};
@@ -40,7 +40,7 @@ pub enum RouterKind {
 /// — or one of the named presets ([`sabre`](Self::sabre),
 /// [`nassc`](Self::nassc)). Struct-literal construction over the public
 /// fields keeps working for existing callers.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct TranspileOptions {
     /// Which router to use.
     pub router: RouterKind,
@@ -62,6 +62,29 @@ pub struct TranspileOptions {
     /// optimization-aware decomposition for NASSC (ties break to the lowest
     /// trial index).
     pub layout_trials: usize,
+    /// When set, the transpile runs under a cooperative deadline measured
+    /// from request entry ([`Transpiler`] methods anchor it when they start
+    /// the request): an in-flight transpile aborts at its next checkpoint —
+    /// per layout trial, per routing step, per optimization pass — with
+    /// [`Error::Deadline`]. `None` (the default) never aborts. Honoured by
+    /// the session API only; the deprecated free functions ignore it.
+    ///
+    /// [`Transpiler`]: crate::session::Transpiler
+    /// [`Error::Deadline`]: crate::error::Error::Deadline
+    pub deadline: Option<Duration>,
+}
+
+/// `deadline` is deliberately **excluded**: options are the layout-cache
+/// key, and two requests differing only in how long they may run must share
+/// cache entries (the cached result is bit-identical either way).
+impl PartialEq for TranspileOptions {
+    fn eq(&self, other: &Self) -> bool {
+        self.router == other.router
+            && self.config == other.config
+            && self.flags == other.flags
+            && self.calibration == other.calibration
+            && self.layout_trials == other.layout_trials
+    }
 }
 
 impl Default for TranspileOptions {
@@ -74,6 +97,7 @@ impl Default for TranspileOptions {
             flags: OptimizationFlags::all(),
             calibration: None,
             layout_trials: 1,
+            deadline: None,
         }
     }
 }
@@ -145,6 +169,7 @@ impl TranspileOptions {
             flags: OptimizationFlags::none(),
             calibration: None,
             layout_trials: 1,
+            deadline: None,
         }
     }
 
@@ -156,6 +181,7 @@ impl TranspileOptions {
             flags: OptimizationFlags::all(),
             calibration: None,
             layout_trials: 1,
+            deadline: None,
         }
     }
 
@@ -181,6 +207,20 @@ impl TranspileOptions {
     #[must_use]
     pub fn with_layout_trials(mut self, trials: usize) -> Self {
         self.layout_trials = trials.max(1);
+        self
+    }
+
+    /// Caps how long the transpile may run (measured from request entry by
+    /// the session API): past the limit the in-flight transpile aborts at
+    /// its next checkpoint with [`Error::Deadline`]. A deadline never
+    /// changes results — outputs are bit-identical whenever the transpile
+    /// finishes in time — and never affects cache keys (see the manual
+    /// [`PartialEq`] impl).
+    ///
+    /// [`Error::Deadline`]: crate::error::Error::Deadline
+    #[must_use]
+    pub fn deadline(mut self, limit: Duration) -> Self {
+        self.deadline = Some(limit);
         self
     }
 }
@@ -231,10 +271,19 @@ impl TranspileResult {
 /// optimizations (this is also what the paper's "original circuit optimized
 /// by Qiskit" baseline columns report).
 pub fn optimize_without_routing(circuit: &QuantumCircuit) -> Result<QuantumCircuit, PassError> {
+    optimize_without_routing_budgeted(circuit, &Budget::unlimited())
+}
+
+/// [`optimize_without_routing`] under a cooperative [`Budget`], checked
+/// before each pass (see [`PassManager::run_with_budget`]).
+pub(crate) fn optimize_without_routing_budgeted(
+    circuit: &QuantumCircuit,
+    budget: &Budget,
+) -> Result<QuantumCircuit, PassError> {
     let mut pm = PassManager::new();
     pm.push(UnrollToBasis);
-    let unrolled = pm.run(circuit)?;
-    standard_optimization_pipeline().run(&unrolled)
+    let unrolled = pm.run_with_budget(circuit, budget)?;
+    standard_optimization_pipeline().run_with_budget(&unrolled, budget)
 }
 
 /// Builds the distance matrix a transpilation over `coupling` uses: plain
@@ -403,6 +452,28 @@ pub(crate) fn transpile_prepared_on_impl(
     options: &TranspileOptions,
     trial_pool: &ThreadPool,
 ) -> Result<TranspileResult, PassError> {
+    transpile_prepared_on_budgeted_impl(
+        prepared,
+        coupling,
+        distances,
+        options,
+        trial_pool,
+        &Budget::unlimited(),
+    )
+}
+
+/// The cold-path tail under a cooperative [`Budget`]: layout trials, every
+/// routing step and every optimization pass checkpoint it, so an exhausted
+/// budget aborts the transpile by unwinding with a typed `Cancelled`
+/// payload (caught and classified at the session boundary).
+pub(crate) fn transpile_prepared_on_budgeted_impl(
+    prepared: &QuantumCircuit,
+    coupling: &CouplingMap,
+    distances: &DistanceMatrix,
+    options: &TranspileOptions,
+    trial_pool: &ThreadPool,
+    budget: &Budget,
+) -> Result<TranspileResult, PassError> {
     let start = Instant::now();
     let (trial_pool, score_pool) = trial_pool.split_budget(options.layout_trials);
 
@@ -423,6 +494,7 @@ pub(crate) fn transpile_prepared_on_impl(
             options,
             &trial_pool,
             &score_pool,
+            budget,
             || SabrePolicy,
             |routed, _| routed.swap_count as f64,
             |routed, _| decompose_swaps_fixed(&routed.circuit),
@@ -434,6 +506,7 @@ pub(crate) fn transpile_prepared_on_impl(
             options,
             &trial_pool,
             &score_pool,
+            budget,
             || NasscPolicy::new(options.flags),
             |routed, policy| policy.decompose_swaps(&routed.circuit).cx_count() as f64,
             |routed, policy| policy.decompose_swaps(&routed.circuit),
@@ -441,7 +514,7 @@ pub(crate) fn transpile_prepared_on_impl(
     };
 
     // Post-routing optimization shared by both arms.
-    let optimized = standard_optimization_pipeline().run(&decomposed)?;
+    let optimized = standard_optimization_pipeline().run_with_budget(&decomposed, budget)?;
 
     Ok(TranspileResult {
         circuit: optimized,
@@ -485,6 +558,7 @@ pub(crate) fn transpile_prepared_from_layout(
     chosen_trial: usize,
     trial_costs: Vec<f64>,
     score_pool: &ThreadPool,
+    budget: &Budget,
 ) -> Result<TranspileResult, PassError> {
     let start = Instant::now();
     let (routed, decomposed) = match options.router {
@@ -497,6 +571,7 @@ pub(crate) fn transpile_prepared_from_layout(
                 options,
                 &|| SabrePolicy,
                 score_pool,
+                budget,
             );
             let decomposed = decompose_swaps_fixed(&routed.circuit);
             (routed, decomposed)
@@ -510,12 +585,13 @@ pub(crate) fn transpile_prepared_from_layout(
                 options,
                 &|| NasscPolicy::new(options.flags),
                 score_pool,
+                budget,
             );
             let decomposed = policy.decompose_swaps(&routed.circuit);
             (routed, decomposed)
         }
     };
-    let optimized = standard_optimization_pipeline().run(&decomposed)?;
+    let optimized = standard_optimization_pipeline().run_with_budget(&decomposed, budget)?;
     Ok(TranspileResult {
         circuit: optimized,
         initial_layout: routed.initial_layout,
@@ -547,6 +623,7 @@ fn layout_route_decompose<P, F, S, D>(
     options: &TranspileOptions,
     trial_pool: &ThreadPool,
     score_pool: &ThreadPool,
+    budget: &Budget,
     make_policy: F,
     score: S,
     decompose: D,
@@ -566,17 +643,18 @@ where
             Layout::trivial(coupling.num_qubits())
         } else {
             let reversed_dag = DagCircuit::from_circuit(&prepared.reversed());
-            sabre_layout_prepared(
+            sabre_layout_prepared_budgeted(
                 &dag,
                 &reversed_dag,
                 coupling,
                 distances,
                 &options.config,
                 score_pool,
+                budget,
             )
         };
         let mut policy = make_policy();
-        let routed = route_prepared(
+        let routed = route_prepared_budgeted(
             &dag,
             coupling,
             distances,
@@ -585,6 +663,7 @@ where
             &mut policy,
             &mut StdRng::seed_from_u64(options.config.seed),
             score_pool,
+            budget,
         );
         let decomposed = decompose(&routed, &policy);
         return (routed, decomposed, 0, Vec::new());
@@ -593,7 +672,8 @@ where
     let engine = LayoutTrials::new(prepared, coupling, distances, &options.config)
         .trials(options.layout_trials)
         .pool(*trial_pool)
-        .score_pool(*score_pool);
+        .score_pool(*score_pool)
+        .budget(budget.clone());
     let (selection, winner) = engine.run_routed(&make_policy, score);
     let costs = selection.trial_costs();
     let (routed, policy) = match winner {
@@ -608,6 +688,7 @@ where
             options,
             &make_policy,
             score_pool,
+            budget,
         ),
     };
     let decomposed = decompose(&routed, &policy);
@@ -616,6 +697,7 @@ where
 
 /// One production routing pass: fresh policy, RNG seeded from
 /// `options.config.seed`.
+#[allow(clippy::too_many_arguments)]
 fn route_from<P, F>(
     prepared: &QuantumCircuit,
     coupling: &CouplingMap,
@@ -624,14 +706,16 @@ fn route_from<P, F>(
     options: &TranspileOptions,
     make_policy: &F,
     score_pool: &ThreadPool,
+    budget: &Budget,
 ) -> (RoutingResult, P)
 where
     P: SwapPolicy + Sync,
     F: Fn() -> P,
 {
     let mut policy = make_policy();
-    let routed = route_with_policy_on(
-        prepared,
+    let dag = DagCircuit::from_circuit(prepared);
+    let routed = route_prepared_budgeted(
+        &dag,
         coupling,
         distances,
         layout,
@@ -639,6 +723,7 @@ where
         &mut policy,
         &mut StdRng::seed_from_u64(options.config.seed),
         score_pool,
+        budget,
     );
     (routed, policy)
 }

@@ -35,12 +35,28 @@
 //! functions, bit for bit, at any worker count and any cache temperature —
 //! only `elapsed` and `cache` differ.
 //!
+//! **Fault containment.** Every session entry point is a `catch_unwind`
+//! boundary: a panic anywhere in preparation, layout, routing or
+//! optimization becomes [`Error::Internal`] for that request alone — the
+//! session, its caches and its sibling requests stay serviceable. A request
+//! whose [`TranspileOptions::deadline`] expires is aborted cooperatively at
+//! the next checkpoint (per layout trial, per routing step, per pass) and
+//! reported as [`Error::Deadline`]. Should a panic ever poison the session
+//! lock (the cache-commit window is the only code that runs under it), the
+//! next [`lock`](Transpiler::lock) recovers by clearing the caches —
+//! counted by [`Transpiler::cache_resets`] — and the session continues
+//! with a cold cache rather than failing every subsequent request.
+//!
 //! [`optimize_without_routing`]: crate::pipeline::optimize_without_routing
 
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use nassc_circuit::QuantumCircuit;
-use nassc_parallel::{worker_pool_status, PoolStatus, ThreadPool};
+use nassc_parallel::{worker_pool_status, Budget, Cancelled, PoolStatus, ThreadPool};
 use nassc_passes::PassError;
 use nassc_topology::{CouplingMap, DistanceMatrix, Layout};
 
@@ -48,8 +64,8 @@ use crate::batch::DistanceCache;
 use crate::device::Device;
 use crate::error::Error;
 use crate::pipeline::{
-    optimize_without_routing, transpile_prepared_from_layout, transpile_prepared_on_impl,
-    TranspileOptions, TranspileResult,
+    optimize_without_routing_budgeted, transpile_prepared_from_layout,
+    transpile_prepared_on_budgeted_impl, TranspileOptions, TranspileResult,
 };
 
 /// Hit/miss counters of the [`Transpiler`] caches.
@@ -163,6 +179,9 @@ struct ResolvedJob {
     prepared: Arc<QuantumCircuit>,
     cached_layout: Option<(Layout, usize, Vec<f64>)>,
     stats: CacheStats,
+    /// The job's cooperative deadline, anchored at request entry; unlimited
+    /// when [`TranspileOptions::deadline`] is unset.
+    budget: Budget,
 }
 
 /// A long-lived transpilation session for one device.
@@ -197,6 +216,7 @@ pub struct Transpiler {
     options: TranspileOptions,
     pool: ThreadPool,
     state: Mutex<SessionState>,
+    cache_resets: AtomicU64,
 }
 
 impl std::fmt::Debug for Transpiler {
@@ -230,6 +250,7 @@ impl Transpiler {
             options,
             pool: ThreadPool::with_default_parallelism(),
             state: Mutex::new(SessionState::default()),
+            cache_resets: AtomicU64::new(0),
         }
     }
 
@@ -266,6 +287,14 @@ impl Transpiler {
         self.lock().stats
     }
 
+    /// How many times poison recovery has reset the session caches — `0`
+    /// in a healthy session. Each reset empties all three caches (the next
+    /// requests run cold) but preserves the accumulated
+    /// [`cache_stats`](Self::cache_stats).
+    pub fn cache_resets(&self) -> u64 {
+        self.cache_resets.load(Ordering::Relaxed)
+    }
+
     /// A snapshot of the process-wide persistent worker pool feeding this
     /// session's dispatches.
     pub fn pool_status(&self) -> PoolStatus {
@@ -276,8 +305,11 @@ impl Transpiler {
     ///
     /// # Errors
     ///
-    /// Propagates [`PassError`] from any optimization pass.
-    pub fn transpile(&self, circuit: &QuantumCircuit) -> Result<TranspileResult, PassError> {
+    /// [`Error::Pass`] when an optimization pass fails, [`Error::Internal`]
+    /// when a panic was caught (and contained) at the session boundary,
+    /// [`Error::Deadline`] when [`TranspileOptions::deadline`] expired
+    /// mid-flight.
+    pub fn transpile(&self, circuit: &QuantumCircuit) -> Result<TranspileResult, Error> {
         self.transpile_with(circuit, &self.options)
     }
 
@@ -286,12 +318,12 @@ impl Transpiler {
     ///
     /// # Errors
     ///
-    /// Propagates [`PassError`] from any optimization pass.
+    /// As [`transpile`](Self::transpile).
     pub fn transpile_with(
         &self,
         circuit: &QuantumCircuit,
         options: &TranspileOptions,
-    ) -> Result<TranspileResult, PassError> {
+    ) -> Result<TranspileResult, Error> {
         let job = SessionJob::with_options(circuit, options.clone());
         self.transpile_jobs(std::slice::from_ref(&job))
             .pop()
@@ -304,7 +336,7 @@ impl Transpiler {
     pub fn transpile_batch(
         &self,
         circuits: &[QuantumCircuit],
-    ) -> Vec<Result<TranspileResult, PassError>> {
+    ) -> Vec<Result<TranspileResult, Error>> {
         let jobs: Vec<SessionJob<'_>> = circuits.iter().map(SessionJob::new).collect();
         self.transpile_jobs(&jobs)
     }
@@ -316,25 +348,38 @@ impl Transpiler {
     /// Results come back in job order and are bit-identical to calling
     /// [`transpile_with`](Self::transpile_with) per job in sequence —
     /// whatever the worker count or cache temperature.
-    pub fn transpile_jobs(
-        &self,
-        jobs: &[SessionJob<'_>],
-    ) -> Vec<Result<TranspileResult, PassError>> {
+    pub fn transpile_jobs(&self, jobs: &[SessionJob<'_>]) -> Vec<Result<TranspileResult, Error>> {
+        // Deadlines are anchored here, at request entry: a job's budget
+        // covers its share of resolution, layout, routing and optimization.
+        let entry = Instant::now();
+
         // Phase 1 — serial resolution under the lock: every cache read and
         // every preparation happens here, in job order, so cache counters
         // are deterministic and workers never contend on the session lock.
-        let resolved: Vec<Result<ResolvedJob, PassError>> = {
+        // The catch boundary sits *inside* the lock scope, so a contained
+        // panic never poisons the session lock.
+        let resolved: Vec<Result<ResolvedJob, Error>> = {
             let mut state = self.lock();
             jobs.iter()
                 .enumerate()
                 .map(|(index, job)| {
                     let options = job.options.clone().unwrap_or_else(|| self.options.clone());
-                    self.resolve(&mut state, index, job.circuit, options)
+                    let deadline = options.deadline;
+                    let budget = match deadline {
+                        Some(limit) => Budget::with_deadline(entry + limit),
+                        None => Budget::unlimited(),
+                    };
+                    catch_unwind(AssertUnwindSafe(|| {
+                        self.resolve(&mut state, index, job.circuit, options, budget)
+                    }))
+                    .unwrap_or_else(|payload| Err(classify_panic("prepare", payload, deadline)))
                 })
                 .collect()
         };
 
-        // Phase 2 — fan the seed-dependent tails across the budget.
+        // Phase 2 — fan the seed-dependent tails across the budget. Each
+        // job's tail is its own catch boundary: one panicking or expired
+        // job fails alone while its siblings complete normally.
         let (job_pool, trial_pool) = self.pool.split_budget(jobs.len());
         let mut results = job_pool.map(resolved.iter().collect(), |resolved| match resolved {
             Ok(resolved) => self.run_resolved(resolved, &trial_pool),
@@ -349,7 +394,11 @@ impl Transpiler {
             }
         }
         let committed: Vec<ResolvedJob> = resolved.into_iter().filter_map(Result::ok).collect();
-        self.commit(&committed, &results);
+        // Contained: the results are already valid, so a panic while
+        // memoizing is swallowed here. It poisons the session lock (commit
+        // runs under it) and the next `lock()` recovers by resetting the
+        // caches — requests keep succeeding, just cold.
+        let _ = catch_unwind(AssertUnwindSafe(|| self.commit(&committed, &results)));
         results
     }
 
@@ -381,7 +430,7 @@ impl Transpiler {
     ) -> Result<TranspileResult, Error> {
         let circuit = nassc_qasm::parse(source)?;
         self.check_fits(&circuit)?;
-        Ok(self.transpile_with(&circuit, options)?)
+        self.transpile_with(&circuit, options)
     }
 
     /// Checks that `circuit` fits on the session's device; routing a wider
@@ -408,10 +457,14 @@ impl Transpiler {
     ///
     /// # Errors
     ///
-    /// Propagates [`PassError`] from the preparation pipeline.
-    pub fn prepared(&self, circuit: &QuantumCircuit) -> Result<Arc<QuantumCircuit>, PassError> {
+    /// [`Error::Pass`] when the preparation pipeline fails,
+    /// [`Error::Internal`] when it panicked (contained at this boundary).
+    pub fn prepared(&self, circuit: &QuantumCircuit) -> Result<Arc<QuantumCircuit>, Error> {
         let mut state = self.lock();
-        let (prepared, hit) = Self::prepared_locked(&mut state, circuit)?;
+        let (prepared, hit) = catch_unwind(AssertUnwindSafe(|| {
+            Self::prepared_locked(&mut state, circuit, &Budget::unlimited()).map_err(Error::from)
+        }))
+        .unwrap_or_else(|payload| Err(classify_panic("prepare", payload, None)))?;
         if hit {
             state.stats.prepared_hits += 1;
         } else {
@@ -420,8 +473,25 @@ impl Transpiler {
         Ok(prepared)
     }
 
+    /// Acquires the session lock, recovering from poison: a panic while
+    /// the lock was held (only the cache-commit window runs fallible code
+    /// under it) leaves the caches in an unknown state, so recovery resets
+    /// all three to empty — preserving the accumulated stats — counts the
+    /// reset in [`cache_resets`](Self::cache_resets), clears the poison
+    /// flag and continues serving.
     fn lock(&self) -> std::sync::MutexGuard<'_, SessionState> {
-        self.state.lock().expect("session cache lock poisoned")
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                guard.distances = DistanceCache::new();
+                guard.prepared.clear();
+                guard.layouts.clear();
+                self.cache_resets.fetch_add(1, Ordering::Relaxed);
+                self.state.clear_poison();
+                guard
+            }
+        }
     }
 
     /// Looks up / computes the prepared baseline for `circuit`, returning
@@ -430,6 +500,7 @@ impl Transpiler {
     fn prepared_locked(
         state: &mut SessionState,
         circuit: &QuantumCircuit,
+        budget: &Budget,
     ) -> Result<(Arc<QuantumCircuit>, bool), PassError> {
         let raw_hash = circuit.structural_hash();
         if let Some(entry) = state
@@ -439,7 +510,7 @@ impl Transpiler {
         {
             return Ok((Arc::clone(&entry.prepared), true));
         }
-        let prepared = Arc::new(optimize_without_routing(circuit)?);
+        let prepared = Arc::new(optimize_without_routing_budgeted(circuit, budget)?);
         state.prepared.push(PreparedEntry {
             raw_hash,
             raw: circuit.clone(),
@@ -456,7 +527,8 @@ impl Transpiler {
         index: usize,
         circuit: &QuantumCircuit,
         options: TranspileOptions,
-    ) -> Result<ResolvedJob, PassError> {
+        budget: Budget,
+    ) -> Result<ResolvedJob, Error> {
         let mut stats = CacheStats::default();
 
         let distances = match state
@@ -475,7 +547,7 @@ impl Transpiler {
             }
         };
 
-        let (prepared, prepared_hit) = Self::prepared_locked(state, circuit)?;
+        let (prepared, prepared_hit) = Self::prepared_locked(state, circuit, &budget)?;
         if prepared_hit {
             stats.prepared_hits += 1;
         } else {
@@ -509,17 +581,20 @@ impl Transpiler {
             prepared,
             cached_layout,
             stats,
+            budget,
         })
     }
 
     /// The lock-free tail of one job: warm jobs replay a single routing
     /// pass from the cached layout, cold jobs run the full layout search.
+    /// This is the per-job catch boundary — a panic or budget abort in here
+    /// fails this job alone.
     fn run_resolved(
         &self,
         resolved: &ResolvedJob,
         pool: &ThreadPool,
-    ) -> Result<TranspileResult, PassError> {
-        match &resolved.cached_layout {
+    ) -> Result<TranspileResult, Error> {
+        let outcome = catch_unwind(AssertUnwindSafe(|| match &resolved.cached_layout {
             Some((layout, chosen_trial, trial_costs)) => transpile_prepared_from_layout(
                 &resolved.prepared,
                 self.device.coupling(),
@@ -529,22 +604,33 @@ impl Transpiler {
                 *chosen_trial,
                 trial_costs.clone(),
                 pool,
+                &resolved.budget,
             ),
-            None => transpile_prepared_on_impl(
+            None => transpile_prepared_on_budgeted_impl(
                 &resolved.prepared,
                 self.device.coupling(),
                 &resolved.distances,
                 &resolved.options,
                 pool,
+                &resolved.budget,
             ),
+        }));
+        match outcome {
+            Ok(result) => result.map_err(Error::from),
+            Err(payload) => Err(classify_panic(
+                "transpile",
+                payload,
+                resolved.options.deadline,
+            )),
         }
     }
 
     /// Rolls per-request counters into the session totals and memoizes the
     /// layout winners cold jobs discovered. Insertion re-checks for an
     /// existing entry so duplicate cold jobs in one batch stay idempotent.
-    fn commit(&self, resolved: &[ResolvedJob], results: &[Result<TranspileResult, PassError>]) {
+    fn commit(&self, resolved: &[ResolvedJob], results: &[Result<TranspileResult, Error>]) {
         let mut state = self.lock();
+        nassc_circuit::failpoints::hit("cache_commit");
         for job in resolved {
             state.stats.accumulate(&job.stats);
             if job.cached_layout.is_some() {
@@ -570,5 +656,152 @@ impl Transpiler {
                 });
             }
         }
+    }
+}
+
+/// Renders a caught panic payload best-effort: the `&str`/`String` message
+/// when there is one, a placeholder otherwise.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// Classifies a payload caught at a session boundary: a typed [`Cancelled`]
+/// is the cooperative deadline abort ([`Error::Deadline`]); anything else is
+/// a contained fault ([`Error::Internal`] with the boundary's site name).
+fn classify_panic(site: &str, payload: Box<dyn Any + Send>, deadline: Option<Duration>) -> Error {
+    if Cancelled::from_payload(payload.as_ref()) {
+        return Error::deadline(deadline.unwrap_or_default());
+    }
+    Error::internal(site, panic_message(payload.as_ref()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::RouterKind;
+
+    fn ghz(n: usize) -> QuantumCircuit {
+        let mut qc = QuantumCircuit::new(n);
+        qc.h(0);
+        for i in 1..n {
+            qc.cx(0, i);
+        }
+        qc
+    }
+
+    fn session() -> Transpiler {
+        Transpiler::new(
+            CouplingMap::linear(4),
+            TranspileOptions::new().router(RouterKind::Nassc).seed(7),
+        )
+    }
+
+    #[test]
+    fn an_expired_deadline_aborts_with_a_deadline_error() {
+        let session = session();
+        let options = session.options().clone().deadline(Duration::ZERO);
+        let err = session.transpile_with(&ghz(4), &options).unwrap_err();
+        assert_eq!(err.kind(), crate::ErrorKind::Deadline);
+        assert_eq!(err.to_string(), "transpile exceeded its 0 ms deadline");
+    }
+
+    #[test]
+    fn a_generous_deadline_changes_nothing() {
+        let session = session();
+        let reference = session.transpile(&ghz(4)).expect("unlimited transpile");
+        let options = session
+            .options()
+            .clone()
+            .deadline(Duration::from_secs(3600));
+        let budgeted = session
+            .transpile_with(&ghz(4), &options)
+            .expect("budgeted transpile");
+        assert_eq!(reference.circuit, budgeted.circuit);
+        assert_eq!(reference.initial_layout, budgeted.initial_layout);
+    }
+
+    #[test]
+    fn deadlined_and_unlimited_requests_share_cache_entries() {
+        // `deadline` is excluded from the options cache key: the second
+        // request must hit all three caches despite its deadline differing.
+        let session = session();
+        session.transpile(&ghz(4)).expect("cold transpile");
+        let options = session
+            .options()
+            .clone()
+            .deadline(Duration::from_secs(3600));
+        let warm = session
+            .transpile_with(&ghz(4), &options)
+            .expect("warm transpile");
+        assert_eq!(warm.cache.hits(), 3);
+        assert_eq!(warm.cache.misses(), 0);
+    }
+
+    #[test]
+    fn poison_recovery_resets_caches_and_keeps_serving() {
+        let session = Arc::new(session());
+        let cold = session.transpile(&ghz(4)).expect("cold transpile");
+        assert_eq!(session.cache_resets(), 0);
+
+        // Poison the session lock the only way a panic can reach it: by
+        // unwinding while the guard is held.
+        let poisoner = Arc::clone(&session);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.state.lock().unwrap();
+            panic!("poison the session lock");
+        })
+        .join();
+        assert!(session.state.is_poisoned());
+
+        // The next request recovers: caches reset (so it runs cold again),
+        // the reset is counted, and the output is bit-identical.
+        let recovered = session.transpile(&ghz(4)).expect("post-poison transpile");
+        assert_eq!(session.cache_resets(), 1);
+        assert!(!session.state.is_poisoned());
+        assert_eq!(recovered.cache.misses(), 3);
+        assert_eq!(recovered.circuit, cold.circuit);
+
+        // And the one after that is warm, as if nothing happened.
+        let warm = session.transpile(&ghz(4)).expect("warm transpile");
+        assert_eq!(warm.cache.hits(), 3);
+        assert_eq!(session.cache_resets(), 1);
+    }
+
+    #[test]
+    fn classify_panic_separates_cancellation_from_faults() {
+        let cancelled: Box<dyn Any + Send> = Box::new(Cancelled);
+        let fault: Box<dyn Any + Send> = Box::new("index out of bounds".to_string());
+        assert_eq!(
+            classify_panic("transpile", cancelled, Some(Duration::from_millis(40))),
+            Error::deadline(Duration::from_millis(40))
+        );
+        assert_eq!(
+            classify_panic("transpile", fault, None),
+            Error::internal("transpile", "index out of bounds")
+        );
+    }
+
+    #[test]
+    fn batch_sibling_jobs_survive_one_deadline_abort() {
+        let reference = session().transpile(&ghz(3)).expect("reference");
+        // Fresh session so nothing is cached for either circuit.
+        let session = session();
+        let doomed = ghz(4);
+        let sibling = ghz(3);
+        let jobs = [
+            SessionJob::with_options(&doomed, session.options().clone().deadline(Duration::ZERO)),
+            SessionJob::new(&sibling),
+        ];
+        let results = session.transpile_jobs(&jobs);
+        assert_eq!(
+            results[0].as_ref().unwrap_err().kind(),
+            crate::ErrorKind::Deadline
+        );
+        let survivor = results[1].as_ref().expect("sibling survives");
+        assert_eq!(survivor.circuit, reference.circuit);
     }
 }

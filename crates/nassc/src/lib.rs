@@ -58,8 +58,9 @@ pub use nassc_core::{
 };
 
 // The persistent worker pool behind every `Transpiler` dispatch: the budget
-// handle plus the process-wide pool observability hooks.
-pub use nassc_parallel::{worker_pool_status, PoolStatus, ThreadPool};
+// handle plus the process-wide pool observability hooks, and the cooperative
+// deadline/cancellation primitives behind `TranspileOptions::deadline`.
+pub use nassc_parallel::{worker_pool_status, Budget, Cancelled, JobPanic, PoolStatus, ThreadPool};
 
 // The multi-trial layout subsystem (see `nassc::sabre::layout`): the engine,
 // its selection/outcome records and the deterministic seed splitter, surfaced

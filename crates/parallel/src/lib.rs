@@ -38,10 +38,14 @@
 //! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
 //! ```
 
+pub mod budget;
 pub mod pool;
 
+pub use budget::{Budget, Cancelled};
 pub use pool::{worker_pool_status, PoolStatus, MAX_POOL_WORKERS};
 
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 
 /// Environment variable overriding the worker count picked by
@@ -83,6 +87,59 @@ fn hardware_parallelism() -> usize {
         .map(|n| n.get())
         .unwrap_or(1)
 }
+
+/// A contained job panic, reported as a value by [`ThreadPool::try_map`] /
+/// [`ThreadPool::try_map_range`] instead of being re-raised into the caller.
+///
+/// Carries the panicking job's index and a best-effort rendering of the
+/// panic payload (`&str` / `String` payloads verbatim, anything else a
+/// placeholder). The original payload is not kept: a typed payload that is
+/// not `&str`/`String` is either a [`Cancelled`] budget abort — which
+/// callers handle *before* reaching `JobPanic` via
+/// [`JobPanic::is_cancelled`] — or a bug to be reported, not rethrown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Index of the panicking job within its batch.
+    pub index: usize,
+    /// Best-effort panic message.
+    pub message: String,
+    cancelled: bool,
+}
+
+impl JobPanic {
+    fn from_payload(index: usize, payload: Box<dyn Any + Send>) -> Self {
+        let cancelled = Cancelled::from_payload(payload.as_ref());
+        let message = if cancelled {
+            Cancelled.to_string()
+        } else if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        Self {
+            index,
+            message,
+            cancelled,
+        }
+    }
+
+    /// Whether this "panic" was a cooperative [`Budget`] cancellation
+    /// rather than a genuine fault. Deadline-aware callers map this to
+    /// their own timeout error instead of an internal one.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled
+    }
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
 
 /// An order-preserving concurrency budget over the persistent worker pool.
 ///
@@ -174,6 +231,34 @@ impl ThreadPool {
         })
     }
 
+    /// [`map`](Self::map) with panic containment: a panicking job becomes
+    /// `Err(`[`JobPanic`]`)` instead of unwinding into the caller.
+    ///
+    /// In parallel dispatch, remaining jobs still run to completion before
+    /// the error is returned (a published batch always drains; the serial
+    /// path stops at the failing job), and the *first* panic wins when
+    /// several jobs fail. Persistent pool workers survive either way; this variant
+    /// is for callers — like the transpilation daemon — that must convert a
+    /// fault into a response rather than crash.
+    pub fn try_map<T, R, F>(&self, items: Vec<T>, f: F) -> Result<Vec<R>, JobPanic>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = items.len();
+        let inputs: Vec<Mutex<Option<T>>> =
+            items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        self.try_map_range(n, |index| {
+            let item = inputs[index]
+                .lock()
+                .expect("input slot poisoned")
+                .take()
+                .expect("each index is dispatched exactly once");
+            f(item)
+        })
+    }
+
     /// Applies `f` to every index in `0..n`, returning results in index
     /// order — [`map`](Self::map) over `(0..n).collect()` minus the input
     /// vector, and the primitive `map` itself is built on: workers draw
@@ -196,7 +281,9 @@ impl ThreadPool {
             let result = f(index);
             *slots[index].lock().expect("result slot poisoned") = Some(result);
         };
-        pool::run_batch(self.threads, n, &task);
+        if let Some((_, payload)) = pool::run_batch(self.threads, n, &task) {
+            resume_unwind(payload);
+        }
         slots
             .into_iter()
             .map(|slot| {
@@ -205,6 +292,44 @@ impl ThreadPool {
                     .expect("every index stores a result before the batch completes")
             })
             .collect()
+    }
+
+    /// [`map_range`](Self::map_range) with panic containment: a panicking
+    /// job becomes `Err(`[`JobPanic`]`)` instead of unwinding into the
+    /// caller. See [`try_map`](Self::try_map) for the containment contract.
+    pub fn try_map_range<R, F>(&self, n: usize, f: F) -> Result<Vec<R>, JobPanic>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if self.threads == 1 || n <= 1 {
+            // The serial path still contains panics — the `try_` contract
+            // must not depend on the worker count.
+            let mut results = Vec::with_capacity(n);
+            for index in 0..n {
+                match catch_unwind(AssertUnwindSafe(|| f(index))) {
+                    Ok(result) => results.push(result),
+                    Err(payload) => return Err(JobPanic::from_payload(index, payload)),
+                }
+            }
+            return Ok(results);
+        }
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let task = |index: usize| {
+            let result = f(index);
+            *slots[index].lock().expect("result slot poisoned") = Some(result);
+        };
+        if let Some((index, payload)) = pool::run_batch(self.threads, n, &task) {
+            return Err(JobPanic::from_payload(index, payload));
+        }
+        Ok(slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every index stores a result before the batch completes")
+            })
+            .collect())
     }
 }
 
@@ -228,6 +353,15 @@ where
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Serializes every test that panics inside pool jobs, so assertions on
+    /// the process-wide `jobs_panicked` counter are not racy. Poison-tolerant
+    /// because `#[should_panic]` tests unwind while holding it.
+    fn panic_counter_guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 
     #[test]
     fn map_matches_serial_and_preserves_order() {
@@ -347,6 +481,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "deliberate job panic")]
     fn job_panics_propagate_to_the_caller() {
+        let _guard = panic_counter_guard();
         ThreadPool::new(4).map((0..8).collect::<Vec<usize>>(), |i| {
             if i == 5 {
                 panic!("deliberate job panic");
@@ -357,6 +492,7 @@ mod tests {
 
     #[test]
     fn pool_survives_a_panicking_batch() {
+        let _guard = panic_counter_guard();
         // Persistent workers must outlive panicking jobs: a batch that
         // panics is reported to its caller, and the very next dispatch on
         // the same workers still completes normally.
@@ -371,6 +507,78 @@ mod tests {
         assert!(caught.is_err());
         let got = ThreadPool::new(4).map_range(16, |i| i * 2);
         assert_eq!(got, (0..16).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_map_contains_panics_at_every_worker_count() {
+        let _guard = panic_counter_guard();
+        for threads in [1, 2, 4, 8] {
+            let err = ThreadPool::new(threads)
+                .try_map((0..16).collect::<Vec<usize>>(), |i| {
+                    if i == 7 {
+                        panic!("contained job panic");
+                    }
+                    i * 2
+                })
+                .expect_err("panicking job must surface as Err");
+            assert_eq!(err.index, 7, "threads = {threads}");
+            assert_eq!(err.message, "contained job panic");
+            assert!(!err.is_cancelled());
+        }
+    }
+
+    #[test]
+    fn try_map_matches_map_on_success() {
+        for threads in [1, 3, 8] {
+            let got = ThreadPool::new(threads)
+                .try_map((0..57u64).collect(), |x| x * x)
+                .expect("no panics");
+            let expected: Vec<u64> = (0..57).map(|x| x * x).collect();
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn try_map_range_contains_panics_and_counts_them() {
+        let _guard = panic_counter_guard();
+        let before = worker_pool_status().jobs_panicked;
+        let err = ThreadPool::new(4)
+            .try_map_range(16, |i| {
+                if i == 3 {
+                    panic!("boom {i}");
+                }
+                i
+            })
+            .expect_err("panicking job must surface as Err");
+        assert_eq!(err.index, 3);
+        assert_eq!(err.message, "boom 3");
+        assert_eq!(worker_pool_status().jobs_panicked, before + 1);
+        // The pool is healthy afterwards.
+        let got = ThreadPool::new(4).try_map_range(8, |i| i + 1).unwrap();
+        assert_eq!(got, (1..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn budget_cancellation_is_not_a_job_panic() {
+        let _guard = panic_counter_guard();
+        let budget = Budget::unlimited();
+        budget.cancel();
+        let before = worker_pool_status().jobs_panicked;
+        let err = ThreadPool::new(4)
+            .try_map_range(8, |i| {
+                if i >= 4 {
+                    budget.checkpoint();
+                }
+                i
+            })
+            .expect_err("tripped checkpoint must surface as Err");
+        assert!(err.is_cancelled());
+        assert_eq!(err.message, "budget cancelled");
+        assert_eq!(
+            worker_pool_status().jobs_panicked,
+            before,
+            "cooperative cancellation must not count as a panicked job"
+        );
     }
 
     #[test]

@@ -47,9 +47,11 @@
 //! [`ThreadPool::map_range`]: crate::ThreadPool::map_range
 //! [`ThreadPool::split_budget`]: crate::ThreadPool::split_budget
 
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use crate::budget::Cancelled;
 
 /// Hard cap on the number of persistent workers the process will ever spawn,
 /// however large the requesting [`ThreadPool`] budgets are. Batches asking
@@ -69,6 +71,12 @@ pub struct PoolStatus {
     pub batches_completed: u64,
     /// Total items executed across all completed batches.
     pub items_completed: u64,
+    /// Jobs that panicked (and were contained by the pool). Cooperative
+    /// budget cancellations ([`Cancelled`] unwinds) are not counted — they
+    /// are deadline aborts, not faults.
+    ///
+    /// [`Cancelled`]: crate::budget::Cancelled
+    pub jobs_panicked: u64,
 }
 
 /// A snapshot of the pool's counters. Workers spawn lazily, so a process
@@ -79,6 +87,7 @@ pub fn worker_pool_status() -> PoolStatus {
         workers: shared.workers.load(Ordering::Relaxed),
         batches_completed: shared.batches.load(Ordering::Relaxed),
         items_completed: shared.items.load(Ordering::Relaxed),
+        jobs_panicked: shared.jobs_panicked.load(Ordering::Relaxed),
     }
 }
 
@@ -90,7 +99,10 @@ struct Task(&'static (dyn Fn(usize) + Sync));
 /// Completion state of a batch, updated once per finished index.
 struct DoneState {
     completed: usize,
-    panic: Option<Box<dyn std::any::Any + Send>>,
+    /// First panic observed: `(job index, payload)`. Lowest-index wins only
+    /// among jobs that actually panicked; "first" here is completion order,
+    /// which is fine — callers surface one representative fault.
+    panic: Option<(usize, Box<dyn std::any::Any + Send>)>,
 }
 
 /// One published unit of parallel work: apply the task to every index in
@@ -126,18 +138,25 @@ impl Batch {
 
     /// Draws and executes indices until the batch is exhausted. Panics in
     /// the task are caught and stashed (first one wins) so persistent
-    /// workers survive panicking jobs; the publishing caller re-raises the
-    /// payload after completion.
-    fn drain(&self) {
+    /// workers survive panicking jobs; the publishing caller receives the
+    /// payload after completion. Genuine panics — not cooperative
+    /// [`Cancelled`] budget aborts — also bump the pool-wide
+    /// `jobs_panicked` counter.
+    fn drain(&self, shared: &Shared) {
         loop {
             let index = self.next.fetch_add(1, Ordering::Relaxed);
             if index >= self.n {
                 break;
             }
             let outcome = catch_unwind(AssertUnwindSafe(|| (self.task.0)(index)));
+            if let Err(payload) = &outcome {
+                if !Cancelled::from_payload(payload.as_ref()) {
+                    shared.jobs_panicked.fetch_add(1, Ordering::Relaxed);
+                }
+            }
             let mut done = self.done.lock().expect("batch completion state poisoned");
             if let Err(payload) = outcome {
-                done.panic.get_or_insert(payload);
+                done.panic.get_or_insert((index, payload));
             }
             done.completed += 1;
             if done.completed == self.n {
@@ -147,8 +166,8 @@ impl Batch {
     }
 
     /// Blocks until every index has completed, handing back the first panic
-    /// payload, if any.
-    fn wait_done(&self) -> Option<Box<dyn std::any::Any + Send>> {
+    /// `(index, payload)`, if any.
+    fn wait_done(&self) -> Option<(usize, Box<dyn std::any::Any + Send>)> {
         let mut done = self.done.lock().expect("batch completion state poisoned");
         while done.completed < self.n {
             done = self
@@ -170,6 +189,7 @@ struct Shared {
     workers: AtomicUsize,
     batches: AtomicU64,
     items: AtomicU64,
+    jobs_panicked: AtomicU64,
 }
 
 fn shared() -> &'static Arc<Shared> {
@@ -181,6 +201,7 @@ fn shared() -> &'static Arc<Shared> {
             workers: AtomicUsize::new(0),
             batches: AtomicU64::new(0),
             items: AtomicU64::new(0),
+            jobs_panicked: AtomicU64::new(0),
         })
     })
 }
@@ -223,7 +244,7 @@ fn worker_main(shared: &Arc<Shared>) {
         match claimed {
             Some(batch) => {
                 drop(queue);
-                batch.drain();
+                batch.drain(shared);
                 queue = shared.queue.lock().expect("pool queue poisoned");
             }
             None => {
@@ -238,13 +259,20 @@ fn worker_main(shared: &Arc<Shared>) {
 
 /// Runs `task` over every index in `0..n` with up to `threads - 1` pool
 /// workers helping the calling thread. Blocks until every index has
-/// completed; re-raises the first job panic afterwards.
+/// completed; returns the first job panic `(index, payload)` — the caller
+/// decides whether to re-raise ([`ThreadPool::map_range`]) or convert it to
+/// a typed error ([`ThreadPool::try_map_range`]).
 ///
 /// Expects `threads >= 2` and `n >= 2` — serial fast paths belong to the
 /// caller ([`ThreadPool::map_range`]).
 ///
 /// [`ThreadPool::map_range`]: crate::ThreadPool::map_range
-pub(crate) fn run_batch(threads: usize, n: usize, task: &(dyn Fn(usize) + Sync)) {
+/// [`ThreadPool::try_map_range`]: crate::ThreadPool::try_map_range
+pub(crate) fn run_batch(
+    threads: usize,
+    n: usize,
+    task: &(dyn Fn(usize) + Sync),
+) -> Option<(usize, Box<dyn std::any::Any + Send>)> {
     debug_assert!(threads >= 2 && n >= 2, "serial batches bypass the pool");
     // SAFETY: sound because this function does not return (and so the
     // closure and everything it borrows stays alive) until `wait_done`
@@ -280,7 +308,7 @@ pub(crate) fn run_batch(threads: usize, n: usize, task: &(dyn Fn(usize) + Sync))
 
     // The caller is always a participant: progress never depends on a pool
     // worker being free, which is what makes nested dispatch safe.
-    batch.drain();
+    batch.drain(shared);
     let panic = batch.wait_done();
 
     if helpers > 0 {
@@ -292,7 +320,5 @@ pub(crate) fn run_batch(threads: usize, n: usize, task: &(dyn Fn(usize) + Sync))
     shared.batches.fetch_add(1, Ordering::Relaxed);
     shared.items.fetch_add(n as u64, Ordering::Relaxed);
 
-    if let Some(payload) = panic {
-        resume_unwind(payload);
-    }
+    panic
 }

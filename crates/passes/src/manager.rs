@@ -99,8 +99,26 @@ impl PassManager {
     ///
     /// Propagates the first [`PassError`] encountered.
     pub fn run(&self, circuit: &QuantumCircuit) -> Result<QuantumCircuit, PassError> {
+        self.run_with_budget(circuit, &nassc_parallel::Budget::unlimited())
+    }
+
+    /// [`run`](Self::run) under a cooperative [`Budget`], checked before
+    /// each pass: an exhausted budget aborts the pipeline by unwinding with
+    /// a typed [`Cancelled`] payload, caught at the session boundary and
+    /// mapped to a deadline error there. On an unexpired budget each
+    /// checkpoint is one relaxed atomic load.
+    ///
+    /// [`Budget`]: nassc_parallel::Budget
+    /// [`Cancelled`]: nassc_parallel::Cancelled
+    pub fn run_with_budget(
+        &self,
+        circuit: &QuantumCircuit,
+        budget: &nassc_parallel::Budget,
+    ) -> Result<QuantumCircuit, PassError> {
         let mut current = circuit.clone();
         for pass in &self.passes {
+            budget.checkpoint();
+            nassc_circuit::failpoints::hit("pass");
             current = pass.run(&current)?;
         }
         Ok(current)

@@ -105,6 +105,7 @@ const BUILTINS: &[(&str, usize, usize)] = &[
 /// assert_eq!(circuit.count_ops()["measure"], 2);
 /// ```
 pub fn parse(source: &str) -> Result<QuantumCircuit, QasmError> {
+    nassc_circuit::failpoints::hit("parse");
     Parser::new(lex(source)?).run()
 }
 

@@ -1,0 +1,145 @@
+//! The parser's no-panic guarantee: for *any* input — arbitrary bytes or
+//! corrupted corpus files — `parse` returns `Ok` or a positioned
+//! [`QasmError`], and never panics. The daemon feeds request bodies
+//! straight into `parse`, so a panicking parser would be a remotely
+//! triggerable crash; this suite is the fuzz harness pinning that down.
+
+use nassc_qasm::{load_corpus, parse, QasmError};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::Path;
+
+/// Runs `parse` under `catch_unwind`, failing the test on any panic and
+/// checking that errors carry a plausible source position.
+fn assert_parse_never_panics(source: &str, context: &str) {
+    let outcome = std::panic::catch_unwind(|| parse(source));
+    let result: Result<_, QasmError> = outcome.unwrap_or_else(|payload| {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        panic!("parse panicked on {context}: {message}\nsource:\n{source:?}");
+    });
+    if let Err(e) = result {
+        // Every parse-side error is positioned: a 1-based line within the
+        // input (+1 for end-of-input errors), never the "no position"
+        // sentinel 0 reserved for export failures.
+        let lines = source.lines().count();
+        assert!(
+            e.line >= 1 && e.line <= lines + 1,
+            "unpositioned or out-of-range error line {} (input has {} lines) on {context}: {e}",
+            e.line,
+            lines
+        );
+    }
+}
+
+fn corpus_sources() -> Vec<(String, String)> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../benchmarks/qasm");
+    load_corpus(&dir)
+        .expect("corpus directory readable")
+        .into_iter()
+        .map(|file| {
+            let source = std::fs::read_to_string(&file.path).expect("corpus file readable");
+            (file.name, source)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_parser(
+        bytes in vec(any::<u8>(), 0..512),
+    ) {
+        let source = String::from_utf8_lossy(&bytes);
+        assert_parse_never_panics(&source, "arbitrary bytes");
+    }
+
+    #[test]
+    fn arbitrary_ascii_soup_never_panics_the_parser(
+        seed in 0u64..u64::MAX,
+        len in 0usize..600,
+    ) {
+        // Biased soup: QASM-ish tokens and punctuation glued together reach
+        // much deeper into the parser than uniform bytes do.
+        const VOCAB: &[&str] = &[
+            "OPENQASM", "2.0", ";", "qreg", "creg", "q", "c", "[", "]", "(", ")",
+            "{", "}", ",", "->", "gate", "cx", "h", "rz", "u3", "measure",
+            "barrier", "pi", "0", "1", "9999999999999999999", "-", "+", "*", "/",
+            "^", ".", "\n", " ", "\t", "//", "include", "\"qelib1.inc\"", "if",
+            "theta", "1e309", "0x41",
+        ];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut source = String::new();
+        while source.len() < len {
+            source.push_str(VOCAB[rng.gen_range(0..VOCAB.len())]);
+        }
+        assert_parse_never_panics(&source, "ascii soup");
+    }
+
+    #[test]
+    fn mutated_corpus_files_never_panic_the_parser(
+        seed in 0u64..u64::MAX,
+    ) {
+        let corpus = corpus_sources();
+        prop_assert!(!corpus.is_empty(), "benchmark corpus is missing");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (name, source) = &corpus[rng.gen_range(0..corpus.len())];
+        let mut bytes = source.clone().into_bytes();
+        match rng.gen_range(0..3) {
+            // Truncate: cut the file anywhere, mid-token included.
+            0 => {
+                let at = rng.gen_range(0..=bytes.len());
+                bytes.truncate(at);
+            }
+            // Splice: copy a random window over another random position.
+            1 if !bytes.is_empty() => {
+                let src = rng.gen_range(0..bytes.len());
+                let len = rng.gen_range(0..=(bytes.len() - src).min(64));
+                let window: Vec<u8> = bytes[src..src + len].to_vec();
+                let dst = rng.gen_range(0..=bytes.len());
+                bytes.splice(dst..dst, window);
+            }
+            // Bit-flip: corrupt up to 8 random bytes.
+            _ if !bytes.is_empty() => {
+                for _ in 0..rng.gen_range(1..=8) {
+                    let at = rng.gen_range(0..bytes.len());
+                    bytes[at] ^= 1 << rng.gen_range(0..8);
+                }
+            }
+            _ => {}
+        }
+        let mutated = String::from_utf8_lossy(&bytes);
+        assert_parse_never_panics(&mutated, &format!("mutated corpus file {name}"));
+    }
+}
+
+#[test]
+fn pathological_fixed_inputs_never_panic() {
+    // Hand-picked nasties: deep nesting, unterminated constructs, huge
+    // numbers, null bytes, lone surrogates' replacement chars.
+    let cases = [
+        "",
+        ";",
+        "OPENQASM",
+        "OPENQASM 2.0",
+        "OPENQASM 2.0;\nqreg q[99999999999999999999];",
+        "OPENQASM 2.0;\nqreg q[3];\ncx q[0], q[0];",
+        "OPENQASM 2.0;\nqreg q[1];\nrz((((((((((pi)))))))))) q[0];",
+        "OPENQASM 2.0;\nqreg q[1];\nrz(1e999999) q[0];",
+        "OPENQASM 2.0;\ngate g a { g a; }\nqreg q[1];\ng q[0];",
+        "OPENQASM 2.0;\nqreg q[2];\nmeasure q ->",
+        "\u{0}\u{0}\u{0}",
+        "OPENQASM 2.0;\nqreg q[1];\nh q[0]",
+        "// only a comment",
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\"",
+    ];
+    for source in cases {
+        assert_parse_never_panics(source, "fixed pathological input");
+    }
+}

@@ -24,11 +24,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use nassc_circuit::{DagCircuit, QuantumCircuit};
-use nassc_parallel::ThreadPool;
+use nassc_parallel::{Budget, ThreadPool};
 use nassc_topology::{CouplingMap, DistanceMatrix, Layout};
 
 use crate::config::SabreConfig;
-use crate::router::{route_prepared, RoutingResult, SabrePolicy, SwapPolicy};
+use crate::router::{route_prepared_budgeted, RoutingResult, SabrePolicy, SwapPolicy};
 
 /// Derives an independent child seed from `base` and a stream index.
 ///
@@ -96,10 +96,36 @@ pub fn sabre_layout_prepared(
     config: &SabreConfig,
     score_pool: &ThreadPool,
 ) -> Layout {
+    sabre_layout_prepared_budgeted(
+        dag,
+        reversed_dag,
+        coupling,
+        distances,
+        config,
+        score_pool,
+        &Budget::unlimited(),
+    )
+}
+
+/// [`sabre_layout_prepared`] under a cooperative [`Budget`], checked at the
+/// start of the search and once per routing step of every refinement pass
+/// (see [`route_prepared_budgeted`]). Outputs are unchanged whenever the
+/// budget does not trip.
+pub fn sabre_layout_prepared_budgeted(
+    dag: &DagCircuit,
+    reversed_dag: &DagCircuit,
+    coupling: &CouplingMap,
+    distances: &DistanceMatrix,
+    config: &SabreConfig,
+    score_pool: &ThreadPool,
+    budget: &Budget,
+) -> Layout {
+    budget.checkpoint();
+    nassc_circuit::failpoints::hit("layout_trial");
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut layout = Layout::random(coupling.num_qubits(), &mut rng);
     for _ in 0..config.layout_iterations {
-        let forward = route_prepared(
+        let forward = route_prepared_budgeted(
             dag,
             coupling,
             distances,
@@ -108,8 +134,9 @@ pub fn sabre_layout_prepared(
             &mut SabrePolicy,
             &mut rng,
             score_pool,
+            budget,
         );
-        let backward = route_prepared(
+        let backward = route_prepared_budgeted(
             reversed_dag,
             coupling,
             distances,
@@ -118,6 +145,7 @@ pub fn sabre_layout_prepared(
             &mut SabrePolicy,
             &mut rng,
             score_pool,
+            budget,
         );
         layout = backward.final_layout;
     }
@@ -222,6 +250,7 @@ pub struct LayoutTrials<'a> {
     trials: usize,
     pool: ThreadPool,
     score_pool: ThreadPool,
+    budget: Budget,
 }
 
 impl<'a> LayoutTrials<'a> {
@@ -241,6 +270,7 @@ impl<'a> LayoutTrials<'a> {
             trials: 1,
             pool: ThreadPool::new(1),
             score_pool: ThreadPool::new(1),
+            budget: Budget::unlimited(),
         }
     }
 
@@ -262,6 +292,18 @@ impl<'a> LayoutTrials<'a> {
     /// [`ThreadPool::split_budget`] so the two levels never oversubscribe.
     pub fn score_pool(mut self, pool: ThreadPool) -> Self {
         self.score_pool = pool;
+        self
+    }
+
+    /// Runs the trials under a cooperative [`Budget`]: each trial checks it
+    /// at trial start and once per routing step, aborting the whole search
+    /// by unwinding with a typed [`Cancelled`] payload when it is
+    /// exhausted. The budget's flag is shared, so once one trial trips,
+    /// sibling trials on other workers abort at their own next checkpoint.
+    ///
+    /// [`Cancelled`]: nassc_parallel::Cancelled
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -369,6 +411,11 @@ impl<'a> LayoutTrials<'a> {
         F: Fn() -> P + Sync,
         S: Fn(&RoutingResult, &P) -> f64 + Sync,
     {
+        // A trial is the per-trial budget checkpoint: a deadline tripping
+        // here unwinds with `Cancelled`, which the worker pool recognises
+        // (not a fault) and the session boundary maps to a deadline error.
+        self.budget.checkpoint();
+        nassc_circuit::failpoints::hit("layout_trial");
         let trial_seed = split_seed(self.config.seed, trial as u64);
         let mut stage = 0u64;
         let mut stage_rng = || {
@@ -379,7 +426,7 @@ impl<'a> LayoutTrials<'a> {
 
         let mut layout = Layout::random(self.coupling.num_qubits(), &mut stage_rng());
         for _ in 0..self.config.layout_iterations {
-            let forward = route_prepared(
+            let forward = route_prepared_budgeted(
                 dag,
                 self.coupling,
                 self.distances,
@@ -388,8 +435,9 @@ impl<'a> LayoutTrials<'a> {
                 &mut make_policy(),
                 &mut stage_rng(),
                 &self.score_pool,
+                &self.budget,
             );
-            let backward = route_prepared(
+            let backward = route_prepared_budgeted(
                 reversed_dag,
                 self.coupling,
                 self.distances,
@@ -398,11 +446,12 @@ impl<'a> LayoutTrials<'a> {
                 &mut make_policy(),
                 &mut stage_rng(),
                 &self.score_pool,
+                &self.budget,
             );
             layout = backward.final_layout;
         }
         let mut scoring_policy = make_policy();
-        let scored = route_prepared(
+        let scored = route_prepared_budgeted(
             dag,
             self.coupling,
             self.distances,
@@ -411,6 +460,7 @@ impl<'a> LayoutTrials<'a> {
             &mut scoring_policy,
             &mut StdRng::seed_from_u64(self.config.seed),
             &self.score_pool,
+            &self.budget,
         );
         let outcome = TrialOutcome {
             trial,
@@ -563,6 +613,41 @@ mod tests {
             .position(|o| o.cost == best)
             .unwrap();
         assert_eq!(selection.chosen_trial, first_min);
+    }
+
+    #[test]
+    fn exhausted_budget_aborts_the_search_with_a_cancelled_payload() {
+        let device = CouplingMap::ibmq_montreal();
+        let distances = device.distance_matrix();
+        let qc = ring_circuit(6, 3);
+        let config = SabreConfig::with_seed(2);
+        let budget = Budget::unlimited();
+        budget.cancel();
+        let engine = LayoutTrials::new(&qc, &device, &distances, &config)
+            .trials(3)
+            .budget(budget);
+        let caught =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.run(|| SabrePolicy)));
+        let payload = caught.expect_err("cancelled budget must abort the search");
+        assert!(
+            nassc_parallel::Cancelled::from_payload(payload.as_ref()),
+            "abort must carry the typed Cancelled payload"
+        );
+    }
+
+    #[test]
+    fn generous_budget_leaves_results_bit_identical() {
+        let device = CouplingMap::grid(2, 3);
+        let distances = device.distance_matrix();
+        let qc = ring_circuit(5, 2);
+        let config = SabreConfig::with_seed(11);
+        let engine = LayoutTrials::new(&qc, &device, &distances, &config).trials(4);
+        let unbudgeted = engine.clone().run(|| SabrePolicy);
+        let budgeted = engine
+            .clone()
+            .budget(Budget::with_timeout(std::time::Duration::from_secs(3600)))
+            .run(|| SabrePolicy);
+        assert_eq!(unbudgeted, budgeted);
     }
 
     #[test]

@@ -49,11 +49,12 @@ pub mod state;
 
 pub use config::SabreConfig;
 pub use layout::{
-    sabre_layout, sabre_layout_on, sabre_layout_prepared, select_best_trial, split_seed,
-    LayoutSelection, LayoutTrials, TrialOutcome,
+    sabre_layout, sabre_layout_on, sabre_layout_prepared, sabre_layout_prepared_budgeted,
+    select_best_trial, split_seed, LayoutSelection, LayoutTrials, TrialOutcome,
 };
 pub use router::{
-    route_prepared, route_with_policy, route_with_policy_on, sabre_route, RoutingContext,
-    RoutingResult, SabrePolicy, StepEndpoints, SwapPolicy, PARALLEL_SCORE_THRESHOLD,
+    route_prepared, route_prepared_budgeted, route_with_policy, route_with_policy_on, sabre_route,
+    RoutingContext, RoutingResult, SabrePolicy, StepEndpoints, SwapPolicy,
+    PARALLEL_SCORE_THRESHOLD,
 };
 pub use state::RoutingState;

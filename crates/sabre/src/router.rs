@@ -31,7 +31,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 use nassc_circuit::{DagCircuit, Gate, QuantumCircuit};
-use nassc_parallel::ThreadPool;
+use nassc_parallel::{Budget, ThreadPool};
 use nassc_topology::{CouplingMap, DistanceMatrix, Layout};
 
 use crate::config::SabreConfig;
@@ -381,6 +381,38 @@ pub fn route_prepared<P: SwapPolicy + Sync>(
     rng: &mut StdRng,
     score_pool: &ThreadPool,
 ) -> RoutingResult {
+    route_prepared_budgeted(
+        dag,
+        coupling,
+        distances,
+        initial_layout,
+        config,
+        policy,
+        rng,
+        score_pool,
+        &Budget::unlimited(),
+    )
+}
+
+/// [`route_prepared`] under a cooperative [`Budget`]: the routing loop
+/// checks the budget once per SWAP step and aborts by unwinding with a
+/// typed [`Cancelled`] payload when it is exhausted. The checkpoint is one
+/// relaxed atomic load on an unexpired budget, so the routed output — and
+/// its cost — is unchanged whenever the budget does not trip.
+///
+/// [`Cancelled`]: nassc_parallel::Cancelled
+#[allow(clippy::too_many_arguments)]
+pub fn route_prepared_budgeted<P: SwapPolicy + Sync>(
+    dag: &DagCircuit,
+    coupling: &CouplingMap,
+    distances: &DistanceMatrix,
+    initial_layout: &Layout,
+    config: &SabreConfig,
+    policy: &mut P,
+    rng: &mut StdRng,
+    score_pool: &ThreadPool,
+    budget: &Budget,
+) -> RoutingResult {
     assert!(
         dag.num_qubits() <= coupling.num_qubits(),
         "circuit needs {} qubits but the device has {}",
@@ -413,6 +445,11 @@ pub fn route_prepared<P: SwapPolicy + Sync>(
     let mut scores: Vec<f64> = Vec::new();
 
     while remaining > 0 {
+        // A deadline mid-routing aborts here — before the step's scoring
+        // fan-out, the expensive part — by unwinding with `Cancelled`.
+        budget.checkpoint();
+        nassc_circuit::failpoints::hit("route_step");
+
         // Execute everything that fits under the current layout.
         let mut progress = true;
         while progress {

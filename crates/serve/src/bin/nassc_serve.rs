@@ -47,7 +47,8 @@ fn main() -> ExitCode {
     if std::env::args().any(|arg| arg == "--help" || arg == "-h") {
         eprintln!(
             "usage: nassc-serve [--addr HOST:PORT] [--device SPEC]... \
-             [--workers N] [--queue-depth N] [--timeout-ms N]"
+             [--workers N] [--queue-depth N] [--timeout-ms N] \
+             [--max-gates N] [--max-qubits N]"
         );
         return ExitCode::SUCCESS;
     }
@@ -62,6 +63,8 @@ fn main() -> ExitCode {
         queue_depth: cli_usize("--queue-depth").unwrap_or(64).max(1),
         default_timeout_ms: cli_usize("--timeout-ms").unwrap_or(60_000).max(1) as u64,
         options: Default::default(),
+        max_gates: cli_usize("--max-gates"),
+        max_qubits: cli_usize("--max-qubits"),
     };
     signal::install_handlers();
     let server = match Server::bind(config.clone()) {

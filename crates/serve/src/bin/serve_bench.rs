@@ -23,6 +23,20 @@
 //! ```text
 //! bench_gate BENCH_serve.json --max error_responses 0 --max serve_mismatches 0
 //! ```
+//!
+//! `--chaos <rate>` (requires `--features failpoints`) switches to the
+//! fault-injection harness instead: it arms the pipeline failpoints at the
+//! given per-hit probability (panicking parse/pass/routing/commit sites,
+//! slow layout trials, dying handler workers), sweeps the corpus under
+//! chaos, then disarms and replays it, writing `BENCH_chaos.json`. Every
+//! injected fault must be *contained* (an error status or at worst a
+//! dropped connection — never a dead daemon) and every post-recovery
+//! response must be byte-identical to the unfaulted reference:
+//!
+//! ```text
+//! serve_bench --chaos 0.05 --json BENCH_chaos.json
+//! bench_gate BENCH_chaos.json --max post_recovery_mismatches 0 --max uncontained_faults 0
+//! ```
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -35,6 +49,147 @@ use nassc_serve::{client, ServeConfig, Server};
 
 /// Worker counts exercised by in-process mode.
 const WORKER_COUNTS: [usize; 2] = [1, 8];
+
+/// Arms the chaos failpoints at the given per-hit probability. The slow
+/// site gets a higher probability (delays are contained by construction);
+/// the worker-killing site a lower one (each hit costs a whole connection).
+#[cfg(feature = "failpoints")]
+fn arm_chaos_sites(rate: f64) {
+    use nassc::circuit::failpoints::{arm, Action};
+    arm("parse", Action::Panic, rate);
+    arm("pass", Action::Panic, rate);
+    arm("route_step", Action::Panic, rate);
+    arm(
+        "layout_trial",
+        Action::Delay(std::time::Duration::from_millis(5)),
+        (2.0 * rate).min(1.0),
+    );
+    arm("cache_commit", Action::Panic, rate);
+    arm("handler", Action::Panic, rate / 4.0);
+}
+
+#[cfg(feature = "failpoints")]
+fn disarm_chaos_sites() {
+    nassc::circuit::failpoints::disarm_all();
+}
+
+#[cfg(feature = "failpoints")]
+fn injections_so_far() -> u64 {
+    nassc::circuit::failpoints::total_injections()
+}
+
+#[cfg(not(feature = "failpoints"))]
+fn arm_chaos_sites(_rate: f64) {
+    unreachable!("--chaos is rejected before arming when failpoints are compiled out");
+}
+
+#[cfg(not(feature = "failpoints"))]
+fn disarm_chaos_sites() {}
+
+#[cfg(not(feature = "failpoints"))]
+fn injections_so_far() -> u64 {
+    0
+}
+
+/// The `--chaos <rate>` harness: sweep the corpus with failpoints armed,
+/// then disarm and verify full recovery. Returns the process exit code.
+fn chaos_main(
+    rate: f64,
+    expected: Arc<Vec<Expected>>,
+    clients: usize,
+    rounds: usize,
+    json: Option<PathBuf>,
+    qubits: usize,
+    suite_label: String,
+) -> ExitCode {
+    let server = match Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        queue_depth: 256,
+        default_timeout_ms: 300_000,
+        ..ServeConfig::default()
+    }) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: binding in-process server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_addr().to_string();
+    let shutdown = server.shutdown_handle();
+    let running = std::thread::spawn(move || server.run());
+    eprintln!("chaos daemon at {addr}, fault rate {rate}");
+
+    // Phase 1 — chaos: contained faults show up as error statuses or
+    // dropped connections; any 200 must still be byte-correct (the
+    // determinism contract holds *during* the faults, not just after).
+    let injected_before = injections_so_far();
+    arm_chaos_sites(rate);
+    let chaos = run_phase(&addr, Arc::clone(&expected), clients, rounds);
+    disarm_chaos_sites();
+    let injected = injections_so_far() - injected_before;
+
+    // The daemon must have survived: supervision respawns dead workers and
+    // poison recovery resets the caches, so /health and a fresh transpile
+    // both still work.
+    let alive = matches!(client::get(&addr, "/health"), Ok(r) if r.status == 200);
+
+    // Phase 2 — recovery: every response byte-identical, no errors.
+    let recovery = run_phase(&addr, Arc::clone(&expected), 1, 1);
+
+    shutdown.shutdown();
+    running.join().expect("server thread panicked");
+
+    let uncontained = u64::from(!alive) + chaos.mismatches;
+    let mut report = BenchReport::new(
+        "serve_chaos",
+        "nassc-serve fault-injection harness: corpus sweep under armed failpoints, then recovery",
+        suite_label,
+        rounds,
+    );
+    push_row(&mut report, &format!("chaos_rate_{rate}"), qubits, &chaos);
+    push_row(&mut report, "recovery", qubits, &recovery);
+    report.summary = vec![
+        ("fault_rate".to_string(), rate),
+        ("injected_faults".to_string(), injected as f64),
+        ("chaos_requests".to_string(), chaos.requests() as f64),
+        ("contained_faults".to_string(), chaos.error_responses as f64),
+        ("uncontained_faults".to_string(), uncontained as f64),
+        (
+            "post_recovery_requests".to_string(),
+            recovery.requests() as f64,
+        ),
+        (
+            "post_recovery_errors".to_string(),
+            recovery.error_responses as f64,
+        ),
+        (
+            "post_recovery_mismatches".to_string(),
+            recovery.mismatches as f64,
+        ),
+    ];
+    eprintln!(
+        "chaos: {injected} faults injected over {} requests — {} contained as error \
+         responses, {uncontained} uncontained; recovery: {} requests, {} errors, \
+         {} mismatches",
+        chaos.requests(),
+        chaos.error_responses,
+        recovery.requests(),
+        recovery.error_responses,
+        recovery.mismatches,
+    );
+    if let Some(path) = &json {
+        if let Err(e) = report.write_to_file(path) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+    }
+    if uncontained > 0 || recovery.error_responses > 0 || recovery.mismatches > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
 
 /// One corpus circuit with its expected (direct-call) transpiled QASM.
 struct Expected {
@@ -244,6 +399,32 @@ fn main() -> ExitCode {
     };
     eprintln!("{} corpus circuits", expected.len());
 
+    if let Some(raw) = cli_value("--chaos") {
+        let rate = match raw.parse::<f64>() {
+            Ok(rate) if (0.0..=1.0).contains(&rate) => rate,
+            _ => {
+                eprintln!("error: --chaos expects a probability in [0, 1], got {raw:?}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if !cfg!(feature = "failpoints") {
+            eprintln!(
+                "error: --chaos requires the fault-injection hooks; rebuild with \
+                 `--features failpoints`"
+            );
+            return ExitCode::FAILURE;
+        }
+        return chaos_main(
+            rate,
+            expected,
+            clients,
+            rounds,
+            json,
+            device.num_qubits(),
+            format!("qasm:{}", dir.display()),
+        );
+    }
+
     let mut report = BenchReport::new(
         "serve_bench",
         "nassc-serve daemon load test over the QASM corpus",
@@ -277,6 +458,8 @@ fn main() -> ExitCode {
                 queue_depth: 256,
                 default_timeout_ms: 300_000,
                 options: TranspileOptions::new(),
+                max_gates: None,
+                max_qubits: None,
             }) {
                 Ok(server) => server,
                 Err(e) => {

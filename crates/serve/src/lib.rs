@@ -32,13 +32,31 @@
 //! * `GET /health` — liveness probe.
 //!
 //! Error taxonomy is derived from [`nassc::ErrorKind`], not string matching:
-//! parse failures → 400, circuit wider than the device → 422, internal pass
-//! errors → 500; a full queue → 429; a request whose queue wait exceeded its
-//! deadline → 504. Every error response carries an `X-Error-Kind` header.
+//! parse failures → 400, circuit wider than the device or over the
+//! configured admission limits → 422, internal pass errors and contained
+//! panics → 500; a full queue → 429; a request whose deadline expired —
+//! waiting in the queue or mid-transpile — → 504. Every error response
+//! carries an `X-Error-Kind` header.
+//!
+//! **Fault containment.** A request's `?timeout-ms=` covers *execution*,
+//! not just queue wait: whatever remains of the deadline when transpilation
+//! starts becomes the session's cooperative [`TranspileOptions::deadline`],
+//! so a slow transpile aborts mid-routing with a 504 instead of pinning a
+//! worker. Panics inside the session are contained there and surface as
+//! 500 + `X-Error-Kind: internal`. Should a worker thread itself unwind
+//! (a panic outside every containment boundary), a supervision guard
+//! respawns a replacement before the thread dies and counts it in the
+//! `worker_restarts` metric — the daemon never loses serving capacity.
 //!
 //! Shutdown is graceful: SIGINT/SIGTERM (or [`ShutdownHandle::shutdown`])
 //! stops the acceptor, closes the queue, lets the workers drain in-flight
 //! requests, and joins them before [`Server::run`] returns.
+
+// Production code must not `unwrap()` — a stray panic in a handler is a
+// dropped connection and a respawned worker, so every lock/parse site
+// either recovers or maps to a taxonomy error. Tests are exempt: an
+// unwrap there *is* the assertion.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod client;
 pub mod http;
@@ -48,8 +66,8 @@ pub mod signal;
 
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use nassc::qasm;
@@ -88,6 +106,13 @@ pub struct ServeConfig {
     /// Base transpile options for every session; requests may override
     /// `router`, `seed` and `layout-trials`.
     pub options: TranspileOptions,
+    /// Admission limit: circuits with more gates are refused with 422
+    /// before any transpilation work. `None` admits any size.
+    pub max_gates: Option<usize>,
+    /// Admission limit: circuits declaring more qubits are refused with 422
+    /// before any transpilation work (device capacity still applies on top).
+    /// `None` admits any width the device fits.
+    pub max_qubits: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -99,6 +124,8 @@ impl Default for ServeConfig {
             queue_depth: 64,
             default_timeout_ms: 60_000,
             options: TranspileOptions::new(),
+            max_gates: None,
+            max_qubits: None,
         }
     }
 }
@@ -117,6 +144,10 @@ struct Shared {
     metrics: Mutex<ServerMetrics>,
     default_timeout_ms: u64,
     workers: usize,
+    max_gates: Option<usize>,
+    max_qubits: Option<usize>,
+    /// Workers respawned after an uncontained panic (see [`RespawnGuard`]).
+    worker_restarts: AtomicU64,
     started: Instant,
 }
 
@@ -182,6 +213,9 @@ impl Server {
                 metrics: Mutex::new(ServerMetrics::default()),
                 default_timeout_ms: config.default_timeout_ms,
                 workers: config.workers,
+                max_gates: config.max_gates,
+                max_qubits: config.max_qubits,
+                worker_restarts: AtomicU64::new(0),
                 started: Instant::now(),
             }),
             shutdown: Arc::new(AtomicBool::new(false)),
@@ -204,15 +238,10 @@ impl Server {
     /// is requested (via [`ShutdownHandle`] or SIGINT/SIGTERM), then closes
     /// the queue, drains in-flight requests and joins the workers.
     pub fn run(self) {
-        let workers: Vec<_> = (0..self.shared.workers)
-            .map(|i| {
-                let shared = Arc::clone(&self.shared);
-                std::thread::Builder::new()
-                    .name(format!("nassc-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawning handler worker")
-            })
-            .collect();
+        let registry: Arc<WorkerRegistry> = Arc::new(Mutex::new(Vec::new()));
+        for index in 0..self.shared.workers {
+            spawn_worker(&self.shared, &registry, index);
+        }
 
         while !self.shutdown.load(Ordering::SeqCst) && !signal::signalled() {
             match self.listener.accept() {
@@ -242,14 +271,80 @@ impl Server {
         }
 
         self.shared.queue.close();
-        for worker in workers {
-            let _ = worker.join();
+        // Join until the registry stays empty: a worker that panics while
+        // draining respawns (and registers) its replacement before it dies,
+        // so after joining a handle there may be late registrations.
+        loop {
+            let drained: Vec<_> = lock_registry(&registry).drain(..).collect();
+            if drained.is_empty() {
+                break;
+            }
+            for worker in drained {
+                let _ = worker.join();
+            }
+        }
+    }
+}
+
+/// The join handles of every live handler worker — including supervision
+/// respawns, which register themselves here so shutdown joins them too.
+type WorkerRegistry = Mutex<Vec<std::thread::JoinHandle<()>>>;
+
+fn lock_registry(
+    registry: &WorkerRegistry,
+) -> std::sync::MutexGuard<'_, Vec<std::thread::JoinHandle<()>>> {
+    // Nothing in the registry can be half-updated by a panic: recover.
+    registry.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Spawns one supervised handler worker and registers its handle.
+fn spawn_worker(shared: &Arc<Shared>, registry: &Arc<WorkerRegistry>, index: usize) {
+    let worker_shared = Arc::clone(shared);
+    let guard_shared = Arc::clone(shared);
+    let guard_registry = Arc::clone(registry);
+    let handle = std::thread::Builder::new()
+        .name(format!("nassc-serve-worker-{index}"))
+        .spawn(move || {
+            let _guard = RespawnGuard {
+                shared: guard_shared,
+                registry: guard_registry,
+                index,
+            };
+            worker_loop(&worker_shared);
+        })
+        .expect("spawning handler worker");
+    lock_registry(registry).push(handle);
+}
+
+/// Worker supervision: dropped on every worker exit, but acts only when the
+/// worker is *unwinding* — a panic that escaped every containment boundary
+/// (the session catches its own; this is the last line). It respawns a
+/// replacement before the thread dies and counts the loss, so the daemon's
+/// serving capacity never decays. Clean exits (queue closed and drained)
+/// fall through untouched.
+struct RespawnGuard {
+    shared: Arc<Shared>,
+    registry: Arc<WorkerRegistry>,
+    index: usize,
+}
+
+impl Drop for RespawnGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.shared.worker_restarts.fetch_add(1, Ordering::Relaxed);
+            spawn_worker(&self.shared, &self.registry, self.index);
         }
     }
 }
 
 fn lock_metrics(shared: &Shared) -> std::sync::MutexGuard<'_, ServerMetrics> {
-    shared.metrics.lock().expect("metrics lock poisoned")
+    // Metrics are monotone counters and histograms — no invariant spans two
+    // fields — so a panic mid-update (the only poison source) leaves them
+    // usable. Recover instead of cascading the panic into every request.
+    shared
+        .metrics
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Writes a bare error response from the acceptor (load shedding and
@@ -271,6 +366,9 @@ fn worker_loop(shared: &Shared) {
 
 /// Serves exactly one request on the connection (`Connection: close`).
 fn handle_connection(shared: &Shared, conn: Conn) {
+    // Deliberately *outside* every containment boundary: arming
+    // `handler:panic` kills the worker itself, exercising supervision.
+    nassc::circuit::failpoints::hit("handler");
     let Conn {
         mut stream,
         accepted_at,
@@ -338,7 +436,8 @@ fn transpile_endpoint(
         Ok(ms) => ms,
         Err(response) => return response,
     };
-    if accepted_at.elapsed() >= Duration::from_millis(timeout_ms) {
+    let total = Duration::from_millis(timeout_ms);
+    if accepted_at.elapsed() >= total {
         lock_metrics(shared).deadline_expired += 1;
         return Response::text(
             504,
@@ -401,15 +500,64 @@ fn transpile_endpoint(
         }
     }
 
+    // Parse and admission-check before any transpilation work, so oversized
+    // requests cost nothing and are refused deterministically.
+    let circuit = match std::panic::catch_unwind(|| qasm::parse(&request.body)) {
+        Ok(Ok(circuit)) => circuit,
+        Ok(Err(e)) => {
+            return Response::text(400, format!("{e}\n")).header("X-Error-Kind", "parse");
+        }
+        Err(_) => {
+            return Response::text(500, "internal error (contained panic in parse)\n")
+                .header("X-Error-Kind", "internal");
+        }
+    };
+    if let Some(max) = shared.max_qubits {
+        if circuit.num_qubits() > max {
+            return Response::text(
+                422,
+                format!(
+                    "circuit declares {} qubits; this server admits at most {max}\n",
+                    circuit.num_qubits()
+                ),
+            )
+            .header("X-Error-Kind", "limits");
+        }
+    }
+    if let Some(max) = shared.max_gates {
+        if circuit.num_gates() > max {
+            return Response::text(
+                422,
+                format!(
+                    "circuit has {} gates; this server admits at most {max}\n",
+                    circuit.num_gates()
+                ),
+            )
+            .header("X-Error-Kind", "limits");
+        }
+    }
+    if let Err(e) = session.check_fits(&circuit) {
+        return Response::text(422, format!("{e}\n")).header("X-Error-Kind", "too-wide");
+    }
+
+    // Whatever remains of the request deadline becomes the transpile budget:
+    // the session aborts cooperatively mid-routing when it expires.
+    let options = options.deadline(total.saturating_sub(accepted_at.elapsed()));
+
     let started = Instant::now();
-    let result = match session.transpile_qasm_with(&request.body, &options) {
+    let result = match session.transpile_with(&circuit, &options) {
         Ok(result) => result,
         Err(e) => {
             let (status, kind) = match e.kind() {
                 ErrorKind::Parse => (400, "parse"),
                 ErrorKind::TooWide => (422, "too-wide"),
                 ErrorKind::Pass => (500, "pass"),
+                ErrorKind::Internal => (500, "internal"),
+                ErrorKind::Deadline => (504, "deadline"),
             };
+            if e.kind() == ErrorKind::Deadline {
+                lock_metrics(shared).deadline_expired += 1;
+            }
             return Response::text(status, format!("{e}\n")).header("X-Error-Kind", kind);
         }
     };
@@ -460,11 +608,15 @@ fn metrics_json(shared: &Shared) -> String {
         .map(|(name, session)| {
             let stats = session.cache_stats();
             format!(
-                "{{\"name\":\"{}\",\"qubits\":{},\"cache_hits\":{},\"cache_misses\":{}}}",
+                concat!(
+                    "{{\"name\":\"{}\",\"qubits\":{},\"cache_hits\":{},",
+                    "\"cache_misses\":{},\"cache_resets\":{}}}"
+                ),
                 http::json_escape(name),
                 session.device().num_qubits(),
                 stats.hits(),
                 stats.misses(),
+                session.cache_resets(),
             )
         })
         .collect();
@@ -478,9 +630,11 @@ fn metrics_json(shared: &Shared) -> String {
             "\"error_responses\":{},",
             "\"rejected_busy\":{},",
             "\"deadline_expired\":{},",
+            "\"worker_restarts\":{},",
             "\"transpile_latency_ms\":{},",
             "\"queue_wait_ms\":{},",
-            "\"pool\":{{\"workers\":{},\"batches_completed\":{},\"items_completed\":{}}},",
+            "\"pool\":{{\"workers\":{},\"batches_completed\":{},",
+            "\"items_completed\":{},\"jobs_panicked\":{}}},",
             "\"devices\":[{}]}}"
         ),
         shared.started.elapsed().as_secs_f64(),
@@ -492,11 +646,13 @@ fn metrics_json(shared: &Shared) -> String {
         metrics.error_responses(),
         metrics.rejected_busy,
         metrics.deadline_expired,
+        shared.worker_restarts.load(Ordering::Relaxed),
         histogram_json(&metrics.transpile_latency),
         histogram_json(&metrics.queue_wait),
         pool.workers,
         pool.batches_completed,
         pool.items_completed,
+        pool.jobs_panicked,
         devices.join(","),
     )
 }

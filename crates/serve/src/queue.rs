@@ -94,7 +94,7 @@ impl<T> BoundedQueue<T> {
             state = self
                 .available
                 .wait(state)
-                .expect("request queue lock poisoned");
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
@@ -106,7 +106,12 @@ impl<T> BoundedQueue<T> {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, QueueState<T>> {
-        self.state.lock().expect("request queue lock poisoned")
+        // Queue state is a VecDeque plus a flag; neither can be left
+        // half-updated by a panicking holder, so recover from poison — a
+        // dead queue would wedge the acceptor *and* every worker.
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 

@@ -46,6 +46,8 @@ fn default_config() -> ServeConfig {
         queue_depth: 16,
         default_timeout_ms: 60_000,
         options: TranspileOptions::new(),
+        max_gates: None,
+        max_qubits: None,
     }
 }
 
@@ -171,6 +173,53 @@ fn full_queue_sheds_load_with_429() {
     std::thread::sleep(Duration::from_millis(100)); // let the acceptor queue it
     let rejected = client::post(&addr, "/transpile", BELL).expect("second connection");
     assert_eq!(rejected.status, 429);
+    stop();
+}
+
+#[test]
+fn admission_limits_refuse_oversized_circuits_with_422() {
+    let (addr, stop) = boot(ServeConfig {
+        max_gates: Some(3),
+        max_qubits: Some(3),
+        ..default_config()
+    });
+
+    // GHZ5 exceeds both limits (5 qubits, 5 gates): refused before any
+    // transpilation work, with the taxonomy header.
+    let refused = client::post(&addr, "/transpile", GHZ5).expect("oversized");
+    assert_eq!(refused.status, 422, "body: {}", refused.body);
+    assert_eq!(refused.header("x-error-kind").unwrap(), "limits");
+    assert!(refused.body.contains("at most 3"), "body: {}", refused.body);
+
+    // Bell (2 qubits, 2 gates) is within limits and still transpiles.
+    let admitted = client::post(&addr, "/transpile", BELL).expect("within limits");
+    assert_eq!(admitted.status, 200, "body: {}", admitted.body);
+    stop();
+}
+
+/// The execution-deadline path: a slow-site failpoint stretches routing past
+/// the request's `?timeout-ms=`, so the transpile aborts mid-flight with a
+/// 504 (the queue-wait check alone would have passed).
+#[cfg(feature = "failpoints")]
+#[test]
+fn deadline_expiring_during_routing_is_504() {
+    use nassc::circuit::failpoints::{arm, disarm_all, Action};
+
+    let (addr, stop) = boot(default_config());
+    arm(
+        "layout_trial",
+        Action::Delay(Duration::from_millis(400)),
+        1.0,
+    );
+    let expired = client::post(&addr, "/transpile?timeout-ms=150", GHZ5).expect("expired");
+    disarm_all();
+    assert_eq!(expired.status, 504, "body: {}", expired.body);
+    assert_eq!(expired.header("x-error-kind").unwrap(), "deadline");
+    assert!(
+        expired.body.contains("transpile exceeded"),
+        "must expire mid-flight, not in the queue: {}",
+        expired.body
+    );
     stop();
 }
 
