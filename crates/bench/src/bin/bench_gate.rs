@@ -12,6 +12,12 @@
 //! NaN); `--max NAME VALUE` fails when `summary[NAME] > VALUE`. Both are
 //! repeatable. Exit status is non-zero on any violation, which is what the
 //! CI bench-smoke job keys off.
+//!
+//! `--emit-summary <path>` additionally writes a compact row-free summary
+//! (artefact, suite, run parameters, the summary metrics) after the bounds
+//! pass — the per-commit record the committed `bench_history/` directory
+//! accumulates. Nothing is written when a bound fails: history entries are
+//! passing runs only.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -31,14 +37,20 @@ struct Bound {
 struct GateArgs {
     report: PathBuf,
     bounds: Vec<Bound>,
+    emit_summary: Option<PathBuf>,
 }
 
 fn parse_args(args: &[String]) -> Result<GateArgs, String> {
     let mut report = None;
     let mut bounds = Vec::new();
+    let mut emit_summary = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--emit-summary" => {
+                let path = iter.next().ok_or("--emit-summary requires a path")?;
+                emit_summary = Some(PathBuf::from(path));
+            }
             "--min" | "--max" => {
                 let metric = iter
                     .next()
@@ -63,10 +75,52 @@ fn parse_args(args: &[String]) -> Result<GateArgs, String> {
         }
     }
     Ok(GateArgs {
-        report: report
-            .ok_or("usage: bench_gate <report.json> [--min NAME VALUE] [--max NAME VALUE]")?,
+        report: report.ok_or(
+            "usage: bench_gate <report.json> [--min NAME VALUE] [--max NAME VALUE] \
+             [--emit-summary <path>]",
+        )?,
         bounds,
+        emit_summary,
     })
+}
+
+/// The compact perf-history record for a passing report: everything except
+/// the per-benchmark rows, as one JSON object. Metric names are crate-chosen
+/// identifiers, but escape them anyway — the file is parsed by humans and
+/// scripts alike.
+fn summary_json(report: &BenchReport) -> String {
+    let escape = |s: &str| {
+        s.chars()
+            .flat_map(|c| match c {
+                '"' => vec!['\\', '"'],
+                '\\' => vec!['\\', '\\'],
+                c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                c => vec![c],
+            })
+            .collect::<String>()
+    };
+    let metrics = report
+        .summary
+        .iter()
+        .map(|(name, value)| {
+            let rendered = if value.is_finite() {
+                format!("{value}")
+            } else {
+                "null".to_string()
+            };
+            format!("    \"{}\": {rendered}", escape(name))
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "{{\n  \"artefact\": \"{}\",\n  \"suite\": \"{}\",\n  \"runs\": {},\n  \
+         \"layout_trials\": {},\n  \"rows\": {},\n  \"summary\": {{\n{metrics}\n  }}\n}}\n",
+        escape(&report.artefact),
+        escape(&report.suite),
+        report.runs,
+        report.layout_trials,
+        report.rows.len()
+    )
 }
 
 /// Checks every bound, returning the list of violations.
@@ -129,6 +183,13 @@ fn main() -> ExitCode {
     let violations = check(&report, &args.bounds);
     if violations.is_empty() {
         println!("bench_gate: OK ({} bounds checked)", args.bounds.len());
+        if let Some(path) = &args.emit_summary {
+            if let Err(e) = std::fs::write(path, summary_json(&report)) {
+                eprintln!("bench_gate: writing {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("bench_gate: wrote {}", path.display());
+        }
         ExitCode::SUCCESS
     } else {
         for violation in &violations {
@@ -170,6 +231,22 @@ mod tests {
         assert!(parse_args(&strings(&["--min", "a"])).is_err());
         assert!(parse_args(&strings(&[])).is_err());
         assert!(parse_args(&strings(&["r.json", "--min", "a", "zzz"])).is_err());
+    }
+
+    #[test]
+    fn emit_summary_flag_parses_and_renders_compact_json() {
+        let args = parse_args(&strings(&["r.json", "--emit-summary", "out.json"])).unwrap();
+        assert_eq!(args.emit_summary, Some(PathBuf::from("out.json")));
+        assert!(parse_args(&strings(&["r.json", "--emit-summary"])).is_err());
+
+        let report = report_with_summary(&[("trace_overhead_ratio", 1.02), ("bad", f64::NAN)]);
+        let json = summary_json(&report);
+        assert!(json.contains("\"artefact\": \"t\""));
+        assert!(json.contains("\"suite\": \"quick\""));
+        assert!(json.contains("\"rows\": 1"));
+        assert!(json.contains("\"trace_overhead_ratio\": 1.02"));
+        assert!(json.contains("\"bad\": null"), "non-finite renders as null");
+        assert!(!json.contains("\"metrics\""), "rows are dropped");
     }
 
     #[test]

@@ -30,18 +30,31 @@
 //!
 //! Devices: `--device montreal` (default, 27 qubits), `eagle` (127),
 //! `osprey` (433), `heavy-hex:<d>`, `linear:<n>`, `grid:<rows>x<cols>`.
+//!
+//! Either mode accepts `--profile <out.json>`: tracing is enabled around
+//! the transpile and a Chrome `trace_event` profile (open it in
+//! `chrome://tracing` or Perfetto) is written to the given path, with the
+//! aggregated per-span table printed to stderr. Single-circuit mode also
+//! reports what share of the transpile wall time the top-level spans
+//! account for.
 
 use std::io::Read;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 
 use nassc::qasm;
 use nassc::{Device, RouterKind, TranspileOptions, Transpiler};
 use nassc_bench::{
-    cli_usize, cli_value, cnot_report, compare_suite_on, print_cnot_table, total_transpile_seconds,
-    BenchReport, ReportRow, BASE_SEED,
+    alloc, cli_usize, cli_value, cnot_report, compare_suite_on, print_cnot_table,
+    total_transpile_seconds, BenchReport, ReportRow, BASE_SEED,
 };
 use nassc_benchmarks::Benchmark;
+
+// The counting allocator feeds the per-span allocation column of
+// `--profile` span tables (registered as the trace probe in `main`).
+#[global_allocator]
+static ALLOC: alloc::CountingAlloc = alloc::CountingAlloc;
 
 /// Parses `--device` into a [`Device`] via its [`FromStr`](std::str::FromStr)
 /// impl — the same parser (and the same error message) the `nassc-serve`
@@ -79,6 +92,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--json",
     "--output",
     "--qasm-dir",
+    "--profile",
 ];
 
 /// The positional input path of single-circuit mode (`-`/absent = stdin).
@@ -107,7 +121,12 @@ fn warn_ignored_flags(mode: &str, ignored: &[&str]) {
     }
 }
 
+fn alloc_probe() -> u64 {
+    alloc::total_bytes() as u64
+}
+
 fn main() -> ExitCode {
+    nassc::trace::set_alloc_probe(alloc_probe);
     let device = device_from_args();
     let layout_trials = cli_usize("--layout-trials").unwrap_or(1).max(1);
     let json = cli_value("--json").map(PathBuf::from);
@@ -174,13 +193,42 @@ fn single_mode(
         .seed(seed)
         .layout_trials(layout_trials);
     let session = Transpiler::new(device.clone(), options.clone());
-    let result = match session.transpile(&circuit) {
+    let profile = cli_value("--profile").map(PathBuf::from);
+    if profile.is_some() {
+        nassc::trace::enable();
+    }
+    let traced_start = Instant::now();
+    let result = session.transpile(&circuit);
+    let traced_wall = traced_start.elapsed();
+    let trace = profile.as_ref().map(|_| {
+        let report = nassc::trace::take_report();
+        nassc::trace::disable();
+        report
+    });
+    let result = match result {
         Ok(result) => result,
         Err(e) => {
             eprintln!("error: transpiling {name}: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if let (Some(path), Some(trace)) = (&profile, &trace) {
+        if let Err(e) = std::fs::write(path, trace.to_chrome_json()) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        let coverage = 100.0 * trace.top_level_span_ns() as f64 / traced_wall.as_nanos() as f64;
+        eprint!("{}", trace.render_span_table());
+        eprintln!(
+            "trace: {} events, {:.1}% of {:.1} ms wall accounted by top-level spans, \
+             {} dropped; wrote {}",
+            trace.events.len(),
+            coverage,
+            1000.0 * traced_wall.as_secs_f64(),
+            trace.events_dropped,
+            path.display()
+        );
+    }
     let out_qasm = match qasm::export(&result.circuit) {
         Ok(out) => out,
         Err(e) => {
@@ -297,7 +345,26 @@ fn corpus_mode(
         nassc_parallel::default_parallelism()
     );
     let session = Transpiler::new(device.clone(), TranspileOptions::new());
+    let profile = cli_value("--profile").map(PathBuf::from);
+    if profile.is_some() {
+        nassc::trace::enable();
+    }
     let rows = compare_suite_on(&session, &suite, runs, layout_trials);
+    if let Some(path) = &profile {
+        let trace = nassc::trace::take_report();
+        nassc::trace::disable();
+        if let Err(e) = std::fs::write(path, trace.to_chrome_json()) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprint!("{}", trace.render_span_table());
+        eprintln!(
+            "trace: {} events, {} dropped; wrote {}",
+            trace.events.len(),
+            trace.events_dropped,
+            path.display()
+        );
+    }
     let title = format!(
         "OpenQASM corpus {} on {} qubits",
         dir.display(),

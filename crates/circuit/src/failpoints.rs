@@ -16,7 +16,8 @@
 //! armed; an armed site rolls a deterministic per-site xorshift RNG and
 //! fires its action when the roll lands under the configured probability.
 //!
-//! Sites are armed either programmatically ([`arm`], [`disarm_all`]) or
+//! Sites are armed either programmatically (`arm`, `disarm_all` — present
+//! only with the feature on, hence not doc-linked here) or
 //! from the `NASSC_FAIL` environment variable at first use:
 //!
 //! ```text
@@ -25,12 +26,12 @@
 //!
 //! i.e. a comma-separated list of `site:action:probability` clauses, where
 //! `action` is `panic` or `delay:<ms>ms` (the delay clause carries its
-//! duration in place of a probability suffix — see [`parse_env`] for the
+//! duration in place of a probability suffix — see `parse_env` for the
 //! exact grammar: `site:panic:<p>` or `site:delay:<ms>ms[:<p>]`, `p`
 //! defaulting to 1).
 //!
 //! Injected panics carry the payload `"failpoint <site>"` so chaos tests
-//! can tell injected faults from real bugs. [`injections`] counts fires
+//! can tell injected faults from real bugs. `injections` counts fires
 //! per site for assertions like "N faults were injected, N were contained".
 //!
 //! This module lives in `nassc-circuit` because it is the one crate every

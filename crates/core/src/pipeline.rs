@@ -280,6 +280,7 @@ pub(crate) fn optimize_without_routing_budgeted(
     circuit: &QuantumCircuit,
     budget: &Budget,
 ) -> Result<QuantumCircuit, PassError> {
+    let _span = nassc_trace::span!("prepare");
     let mut pm = PassManager::new();
     pm.push(UnrollToBasis);
     let unrolled = pm.run_with_budget(circuit, budget)?;
@@ -514,7 +515,10 @@ pub(crate) fn transpile_prepared_on_budgeted_impl(
     };
 
     // Post-routing optimization shared by both arms.
-    let optimized = standard_optimization_pipeline().run_with_budget(&decomposed, budget)?;
+    let optimized = {
+        let _span = nassc_trace::span!("post_optimize");
+        standard_optimization_pipeline().run_with_budget(&decomposed, budget)?
+    };
 
     Ok(TranspileResult {
         circuit: optimized,
@@ -561,6 +565,8 @@ pub(crate) fn transpile_prepared_from_layout(
     budget: &Budget,
 ) -> Result<TranspileResult, PassError> {
     let start = Instant::now();
+    let mut route_span = nassc_trace::span!("route_from");
+    route_span.arg_u64("chosen_trial", chosen_trial as u64);
     let (routed, decomposed) = match options.router {
         RouterKind::Sabre => {
             let (routed, _) = route_from(
@@ -591,7 +597,11 @@ pub(crate) fn transpile_prepared_from_layout(
             (routed, decomposed)
         }
     };
-    let optimized = standard_optimization_pipeline().run_with_budget(&decomposed, budget)?;
+    drop(route_span);
+    let optimized = {
+        let _span = nassc_trace::span!("post_optimize");
+        standard_optimization_pipeline().run_with_budget(&decomposed, budget)?
+    };
     Ok(TranspileResult {
         circuit: optimized,
         initial_layout: routed.initial_layout,
@@ -638,7 +648,10 @@ where
         // Build the dependency DAG once per circuit and share it between the
         // layout search and the production routing pass — at 100k gates the
         // per-pass rebuild used to dominate the single-trial path.
-        let dag = DagCircuit::from_circuit(prepared);
+        let dag = {
+            let _span = nassc_trace::span!("dag_build");
+            DagCircuit::from_circuit(prepared)
+        };
         let layout = if prepared.two_qubit_gate_count() == 0 {
             Layout::trivial(coupling.num_qubits())
         } else {
@@ -653,19 +666,27 @@ where
                 budget,
             )
         };
-        let mut policy = make_policy();
-        let routed = route_prepared_budgeted(
-            &dag,
-            coupling,
-            distances,
-            &layout,
-            &options.config,
-            &mut policy,
-            &mut StdRng::seed_from_u64(options.config.seed),
-            score_pool,
-            budget,
-        );
-        let decomposed = decompose(&routed, &policy);
+        let routed = {
+            let _span = nassc_trace::span!("route");
+            let mut policy = make_policy();
+            let routed = route_prepared_budgeted(
+                &dag,
+                coupling,
+                distances,
+                &layout,
+                &options.config,
+                &mut policy,
+                &mut StdRng::seed_from_u64(options.config.seed),
+                score_pool,
+                budget,
+            );
+            (routed, policy)
+        };
+        let (routed, policy) = routed;
+        let decomposed = {
+            let _span = nassc_trace::span!("decompose");
+            decompose(&routed, &policy)
+        };
         return (routed, decomposed, 0, Vec::new());
     }
 
@@ -691,7 +712,10 @@ where
             budget,
         ),
     };
-    let decomposed = decompose(&routed, &policy);
+    let decomposed = {
+        let _span = nassc_trace::span!("decompose");
+        decompose(&routed, &policy)
+    };
     (routed, decomposed, selection.chosen_trial, costs)
 }
 

@@ -43,7 +43,7 @@
 //! the next checkpoint (per layout trial, per routing step, per pass) and
 //! reported as [`Error::Deadline`]. Should a panic ever poison the session
 //! lock (the cache-commit window is the only code that runs under it), the
-//! next [`lock`](Transpiler::lock) recovers by clearing the caches —
+//! next lock acquisition recovers by clearing the caches —
 //! counted by [`Transpiler::cache_resets`] — and the session continues
 //! with a cold cache rather than failing every subsequent request.
 //!
@@ -359,6 +359,8 @@ impl Transpiler {
         // The catch boundary sits *inside* the lock scope, so a contained
         // panic never poisons the session lock.
         let resolved: Vec<Result<ResolvedJob, Error>> = {
+            let mut resolve_span = nassc_trace::span!("resolve");
+            resolve_span.arg_u64("jobs", jobs.len() as u64);
             let mut state = self.lock();
             jobs.iter()
                 .enumerate()
@@ -451,7 +453,8 @@ impl Transpiler {
     }
 
     /// The prepared pre-routing baseline of `circuit` (what
-    /// [`optimize_without_routing`] produces), served from the session's
+    /// [`optimize_without_routing`](crate::pipeline::optimize_without_routing)
+    /// produces), served from the session's
     /// prepared cache. Benchmark drivers report baseline CNOT/depth from
     /// this without paying preparation twice.
     ///
@@ -537,10 +540,12 @@ impl Transpiler {
         {
             Some(cached) => {
                 stats.distance_hits += 1;
+                nassc_trace::counter("cache.distance_hit", 1);
                 cached
             }
             None => {
                 stats.distance_misses += 1;
+                nassc_trace::counter("cache.distance_miss", 1);
                 state
                     .distances
                     .get_or_compute(self.device.coupling(), options.calibration.as_ref())
@@ -550,8 +555,10 @@ impl Transpiler {
         let (prepared, prepared_hit) = Self::prepared_locked(state, circuit, &budget)?;
         if prepared_hit {
             stats.prepared_hits += 1;
+            nassc_trace::counter("cache.prepared_hit", 1);
         } else {
             stats.prepared_misses += 1;
+            nassc_trace::counter("cache.prepared_miss", 1);
         }
 
         let prepared_hash = prepared.structural_hash();
@@ -570,8 +577,10 @@ impl Transpiler {
             });
         if cached_layout.is_some() {
             stats.layout_hits += 1;
+            nassc_trace::counter("cache.layout_hit", 1);
         } else {
             stats.layout_misses += 1;
+            nassc_trace::counter("cache.layout_miss", 1);
         }
 
         Ok(ResolvedJob {
@@ -594,6 +603,16 @@ impl Transpiler {
         resolved: &ResolvedJob,
         pool: &ThreadPool,
     ) -> Result<TranspileResult, Error> {
+        let mut span = nassc_trace::span!("job");
+        span.arg_u64("index", resolved.index as u64);
+        span.arg_text(
+            "path",
+            if resolved.cached_layout.is_some() {
+                "warm"
+            } else {
+                "cold"
+            },
+        );
         let outcome = catch_unwind(AssertUnwindSafe(|| match &resolved.cached_layout {
             Some((layout, chosen_trial, trial_costs)) => transpile_prepared_from_layout(
                 &resolved.prepared,
@@ -629,6 +648,7 @@ impl Transpiler {
     /// layout winners cold jobs discovered. Insertion re-checks for an
     /// existing entry so duplicate cold jobs in one batch stay idempotent.
     fn commit(&self, resolved: &[ResolvedJob], results: &[Result<TranspileResult, Error>]) {
+        let _span = nassc_trace::span!("commit");
         let mut state = self.lock();
         nassc_circuit::failpoints::hit("cache_commit");
         for job in resolved {

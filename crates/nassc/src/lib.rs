@@ -81,3 +81,4 @@ pub use nassc_sabre as sabre;
 pub use nassc_sim as sim;
 pub use nassc_synthesis as synthesis;
 pub use nassc_topology as topology;
+pub use nassc_trace as trace;

@@ -1,5 +1,6 @@
-//! A dependency-free persistent thread pool for embarrassingly parallel
-//! batches.
+//! A persistent thread pool for embarrassingly parallel batches, with no
+//! dependencies outside the workspace (`nassc-trace` instruments batch
+//! dispatch; it is itself dependency-free).
 //!
 //! The build environment has no access to crates.io (mirroring
 //! `crates/compat/`), so instead of `rayon` this crate provides the small

@@ -274,6 +274,9 @@ pub(crate) fn run_batch(
     task: &(dyn Fn(usize) + Sync),
 ) -> Option<(usize, Box<dyn std::any::Any + Send>)> {
     debug_assert!(threads >= 2 && n >= 2, "serial batches bypass the pool");
+    let mut span = nassc_trace::span!("pool_batch");
+    span.arg_u64("threads", threads as u64);
+    span.arg_u64("items", n as u64);
     // SAFETY: sound because this function does not return (and so the
     // closure and everything it borrows stays alive) until `wait_done`
     // observes `completed == n` — which happens-after the last task call

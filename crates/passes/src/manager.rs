@@ -119,6 +119,7 @@ impl PassManager {
         for pass in &self.passes {
             budget.checkpoint();
             nassc_circuit::failpoints::hit("pass");
+            let _span = nassc_trace::span_owned(pass.name());
             current = pass.run(&current)?;
         }
         Ok(current)

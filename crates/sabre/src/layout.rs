@@ -122,6 +122,7 @@ pub fn sabre_layout_prepared_budgeted(
 ) -> Layout {
     budget.checkpoint();
     nassc_circuit::failpoints::hit("layout_trial");
+    let _span = nassc_trace::span!("sabre_layout");
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut layout = Layout::random(coupling.num_qubits(), &mut rng);
     for _ in 0..config.layout_iterations {
@@ -365,6 +366,8 @@ impl<'a> LayoutTrials<'a> {
         }
         // Every trial routes the same two circuits; build each dependency
         // DAG once and share it across all trials and refinement rounds.
+        let mut span = nassc_trace::span!("layout_trials");
+        span.arg_u64("trials", self.trials as u64);
         let dag = DagCircuit::from_circuit(self.circuit);
         let reversed_dag = DagCircuit::from_circuit(&self.circuit.reversed());
         let candidates: Vec<(Layout, TrialOutcome, RoutingResult, P)> =
@@ -376,6 +379,8 @@ impl<'a> LayoutTrials<'a> {
             .map(|(_, outcome, _, _)| outcome.cost)
             .collect();
         let chosen_trial = select_best_trial(&costs);
+        span.arg_u64("chosen_trial", chosen_trial as u64);
+        span.arg_f64("chosen_cost", costs[chosen_trial]);
         let mut outcomes = Vec::with_capacity(candidates.len());
         let mut winner = None;
         for (index, (trial_layout, outcome, routed, policy)) in candidates.into_iter().enumerate() {
@@ -417,6 +422,9 @@ impl<'a> LayoutTrials<'a> {
         self.budget.checkpoint();
         nassc_circuit::failpoints::hit("layout_trial");
         let trial_seed = split_seed(self.config.seed, trial as u64);
+        let mut span = nassc_trace::span!("layout_trial");
+        span.arg_u64("trial", trial as u64);
+        span.arg_u64("seed", trial_seed);
         let mut stage = 0u64;
         let mut stage_rng = || {
             let rng = StdRng::seed_from_u64(split_seed(trial_seed, stage));
@@ -462,10 +470,12 @@ impl<'a> LayoutTrials<'a> {
             &self.score_pool,
             &self.budget,
         );
+        let cost = score(&scored, &scoring_policy);
+        span.arg_f64("cost", cost);
         let outcome = TrialOutcome {
             trial,
             seed: trial_seed,
-            cost: score(&scored, &scoring_policy),
+            cost,
         };
         (layout, outcome, scored, scoring_policy)
     }

@@ -444,6 +444,13 @@ pub fn route_prepared_budgeted<P: SwapPolicy + Sync>(
     let mut endpoints = StepEndpoints::new();
     let mut scores: Vec<f64> = Vec::new();
 
+    // Trace totals, accumulated locally and emitted once per route call:
+    // per-step counter events would dominate the enabled-mode overhead on
+    // small circuits (and a cancellation unwinds without emitting — the
+    // trace of a cancelled route is best-effort).
+    let mut trace_steps = 0u64;
+    let mut trace_swap_candidates = 0u64;
+
     while remaining > 0 {
         // A deadline mid-routing aborts here — before the step's scoring
         // fan-out, the expensive part — by unwinding with `Cancelled`.
@@ -531,6 +538,8 @@ pub fn route_prepared_budgeted<P: SwapPolicy + Sync>(
             edge_seen[a * num_physical + b] = false;
         }
         candidates.shuffle(rng);
+        trace_steps += 1;
+        trace_swap_candidates += candidates.len() as u64;
 
         endpoints.prepare(dag, &front, extended, &layout);
         let ctx = RoutingContext::new(
@@ -582,6 +591,9 @@ pub fn route_prepared_budgeted<P: SwapPolicy + Sync>(
             swaps_since_reset = 0;
         }
     }
+
+    nassc_trace::counter("route.steps", trace_steps);
+    nassc_trace::counter("route.swap_candidates", trace_swap_candidates);
 
     RoutingResult {
         circuit: state.into_circuit(),

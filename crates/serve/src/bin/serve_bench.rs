@@ -20,8 +20,15 @@
 //! options). CI's bench-smoke boots `nassc-serve`, points `serve_bench
 //! --addr` at it, and gates the report:
 //!
+//! After the warm phase, a *traced* corpus pass drives
+//! `POST /transpile?trace=1` with client-chosen `X-Request-Id`s: every
+//! response must echo the id, carry a non-empty span table, and round-trip
+//! the exact QASM bytes of the untraced reference (`serve_trace_mismatches`
+//! must be 0 — tracing is observational only).
+//!
 //! ```text
-//! bench_gate BENCH_serve.json --max error_responses 0 --max serve_mismatches 0
+//! bench_gate BENCH_serve.json --max error_responses 0 --max serve_mismatches 0 \
+//!            --max serve_trace_mismatches 0
 //! ```
 //!
 //! `--chaos <rate>` (requires `--features failpoints`) switches to the
@@ -307,6 +314,88 @@ fn run_corpus_pass(addr: &str, expected: &[Expected]) -> PhaseStats {
     stats
 }
 
+/// Extracts and unescapes the first JSON string field named `key` — enough
+/// JSON to read the `?trace=1` envelope the daemon emits.
+fn json_str_field(body: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":\"");
+    let start = body.find(&marker)? + marker.len();
+    let mut out = String::new();
+    let mut chars = body[start..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    out.push(char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// One corpus pass through `POST /transpile?trace=1`: every response must
+/// echo the client-chosen `X-Request-Id`, carry a non-empty span table, and
+/// round-trip the exact QASM bytes of the untraced reference — tracing is
+/// observational only, so any divergence counts as a mismatch.
+fn run_traced_pass(addr: &str, expected: &[Expected], tag: &str) -> PhaseStats {
+    let mut stats = PhaseStats {
+        latencies_ms: Vec::new(),
+        wall_seconds: 0.0,
+        error_responses: 0,
+        mismatches: 0,
+    };
+    let started_pass = Instant::now();
+    for (index, item) in expected.iter().enumerate() {
+        let request_id = format!("{tag}-{index}-{}", item.name);
+        let started = Instant::now();
+        let response = client::request_with_headers(
+            addr,
+            "POST",
+            "/transpile?trace=1",
+            &[("x-request-id", &request_id)],
+            &item.source,
+        );
+        stats
+            .latencies_ms
+            .push(1000.0 * started.elapsed().as_secs_f64());
+        let response = match response {
+            Ok(response) => response,
+            Err(e) => {
+                eprintln!("{}: traced request failed: {e}", item.name);
+                stats.error_responses += 1;
+                continue;
+            }
+        };
+        if response.status != 200 {
+            eprintln!("{}: traced status {}", item.name, response.status);
+            stats.error_responses += 1;
+            continue;
+        }
+        let id_ok = response.header("x-request-id") == Some(request_id.as_str())
+            && response
+                .body
+                .contains(&format!("\"request_id\":\"{request_id}\""));
+        let spans_ok = response.body.contains("\"spans\":[{");
+        let qasm_ok = json_str_field(&response.body, "qasm").as_deref() == Some(item.body.as_str());
+        if !id_ok || !spans_ok || !qasm_ok {
+            eprintln!(
+                "{}: traced round-trip mismatch (id {}, spans {}, qasm {})",
+                item.name, id_ok, spans_ok, qasm_ok
+            );
+            stats.mismatches += 1;
+        }
+    }
+    stats.wall_seconds = started_pass.elapsed().as_secs_f64();
+    stats
+}
+
 /// Runs `clients` threads × `rounds` corpus passes each, merging the stats.
 fn run_phase(
     addr: &str,
@@ -433,6 +522,7 @@ fn main() -> ExitCode {
     );
     let qubits = device.num_qubits();
     let mut phases: Vec<PhaseStats> = Vec::new();
+    let mut traced_phases: Vec<PhaseStats> = Vec::new();
     let mut warm_p99: f64 = 0.0;
     let mut warm_throughput: f64 = 0.0;
 
@@ -443,10 +533,13 @@ fn main() -> ExitCode {
         push_row(&mut report, "external_cold", qubits, &cold);
         let warm = run_phase(&addr, Arc::clone(&expected), clients, rounds);
         push_row(&mut report, "external_warm", qubits, &warm);
+        let traced = run_traced_pass(&addr, &expected, "bench-ext");
+        push_row(&mut report, "external_traced", qubits, &traced);
         warm_p99 = warm.quantile_ms(0.99);
         warm_throughput = warm.throughput_rps();
         phases.push(cold);
         phases.push(warm);
+        traced_phases.push(traced);
     } else {
         // In-process mode: boot a fresh daemon per worker count so every
         // cold phase really is cold.
@@ -491,24 +584,46 @@ fn main() -> ExitCode {
             phases.push(cold);
             phases.push(warm);
 
+            let traced = run_traced_pass(&addr, &expected, &format!("bench-w{workers}"));
+            push_row(
+                &mut report,
+                &format!("workers{workers}_traced"),
+                qubits,
+                &traced,
+            );
+            traced_phases.push(traced);
+
             shutdown.shutdown();
             running.join().expect("server thread panicked");
         }
     }
 
     let total_requests: usize = phases.iter().map(PhaseStats::requests).sum();
-    let error_responses: u64 = phases.iter().map(|p| p.error_responses).sum();
+    let error_responses: u64 = phases.iter().map(|p| p.error_responses).sum::<u64>()
+        + traced_phases.iter().map(|p| p.error_responses).sum::<u64>();
     let mismatches: u64 = phases.iter().map(|p| p.mismatches).sum();
+    let trace_requests: usize = traced_phases.iter().map(PhaseStats::requests).sum();
+    let trace_mismatches: u64 = traced_phases.iter().map(|p| p.mismatches).sum();
     report.summary = vec![
-        ("total_requests".to_string(), total_requests as f64),
+        (
+            "total_requests".to_string(),
+            (total_requests + trace_requests) as f64,
+        ),
         ("error_responses".to_string(), error_responses as f64),
         ("serve_mismatches".to_string(), mismatches as f64),
+        ("trace_requests".to_string(), trace_requests as f64),
+        (
+            "serve_trace_mismatches".to_string(),
+            trace_mismatches as f64,
+        ),
         ("p99_ms".to_string(), warm_p99),
         ("best_warm_throughput_rps".to_string(), warm_throughput),
     ];
     eprintln!(
-        "total: {total_requests} requests, {error_responses} error responses, \
-         {mismatches} mismatches vs direct Transpiler calls"
+        "total: {} requests, {error_responses} error responses, \
+         {mismatches} mismatches vs direct Transpiler calls, \
+         {trace_mismatches} traced round-trip mismatches over {trace_requests} traced requests",
+        total_requests + trace_requests,
     );
     if let Some(path) = &json {
         if let Err(e) = report.write_to_file(path) {
@@ -517,7 +632,7 @@ fn main() -> ExitCode {
         }
         eprintln!("wrote {}", path.display());
     }
-    if error_responses > 0 || mismatches > 0 {
+    if error_responses > 0 || mismatches > 0 || trace_mismatches > 0 {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

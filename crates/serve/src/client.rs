@@ -45,13 +45,34 @@ pub fn request(
     path_and_query: &str,
     body: &str,
 ) -> std::io::Result<ClientResponse> {
+    request_with_headers(addr, method, path_and_query, &[], body)
+}
+
+/// As [`request`], with extra request headers (e.g. `x-request-id` for
+/// correlation, or `accept: text/plain` to select the Prometheus rendering
+/// of `/metrics`).
+///
+/// # Errors
+///
+/// As [`request`].
+pub fn request_with_headers(
+    addr: &str,
+    method: &str,
+    path_and_query: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<ClientResponse> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(120)))?;
     stream.set_nodelay(true)?;
+    let extra: String = extra_headers
+        .iter()
+        .map(|(name, value)| format!("{name}: {value}\r\n"))
+        .collect();
     write!(
         stream,
         "{method} {path_and_query} HTTP/1.1\r\nhost: {addr}\r\nconnection: close\r\n\
-         content-length: {}\r\n\r\n{body}",
+         {extra}content-length: {}\r\n\r\n{body}",
         body.len()
     )?;
     stream.flush()?;

@@ -26,10 +26,24 @@
 //!   `X-Cx-Count`, `X-Swap-Count`, `X-Depth`, `X-Chosen-Trial`,
 //!   `X-Cache-Hits`/`X-Cache-Misses` response headers, so the body stays
 //!   byte-comparable against a direct [`Transpiler`] call.
+//!   Appending `?trace=1` runs the transpile under the process-wide trace
+//!   recorder and returns a JSON envelope with the per-span table. Traced
+//!   requests serialize on a recorder lock; spans from concurrent untraced
+//!   requests may appear in the table (best-effort attribution — outputs
+//!   are never affected).
 //! * `GET /metrics` — JSON: response counts by status, p50/p99 latency
 //!   histograms, cumulative per-device [`CacheStats`](nassc::CacheStats),
-//!   worker-pool status.
+//!   worker-pool status, uptime/start time, dropped trace events. With
+//!   `Accept: text/plain` the same numbers render in Prometheus text
+//!   exposition format instead.
+//! * `GET /trace` — the span table of the most recent `?trace=1` request.
+//! * `GET /version` — crate version and compiled-in features.
 //! * `GET /health` — liveness probe.
+//!
+//! **Request correlation.** Every response carries `X-Request-Id` — the
+//! inbound `x-request-id` header when the client sent a well-formed one,
+//! else a server-assigned `serve-<n>` — and every request is logged as a
+//! single-line JSON object on stderr keyed by that id.
 //!
 //! Error taxonomy is derived from [`nassc::ErrorKind`], not string matching:
 //! parse failures → 400, circuit wider than the device or over the
@@ -149,6 +163,15 @@ struct Shared {
     /// Workers respawned after an uncontained panic (see [`RespawnGuard`]).
     worker_restarts: AtomicU64,
     started: Instant,
+    /// Unix timestamp of [`Server::bind`], reported by `/metrics`.
+    started_at_epoch_seconds: u64,
+    /// Source of server-assigned request ids (`serve-<n>`).
+    next_request_id: AtomicU64,
+    /// Serializes `?trace=1` requests: the trace recorder is process-wide,
+    /// so at most one request records at a time.
+    trace_serial: Mutex<()>,
+    /// The span-table JSON of the most recent traced request (`/trace`).
+    last_trace: Mutex<Option<String>>,
 }
 
 /// Requests the server stop accepting and drain; cloneable across threads.
@@ -217,6 +240,13 @@ impl Server {
                 max_qubits: config.max_qubits,
                 worker_restarts: AtomicU64::new(0),
                 started: Instant::now(),
+                started_at_epoch_seconds: std::time::SystemTime::now()
+                    .duration_since(std::time::SystemTime::UNIX_EPOCH)
+                    .map(|since| since.as_secs())
+                    .unwrap_or(0),
+                next_request_id: AtomicU64::new(1),
+                trace_serial: Mutex::new(()),
+                last_trace: Mutex::new(None),
             }),
             shutdown: Arc::new(AtomicBool::new(false)),
         })
@@ -385,26 +415,106 @@ fn handle_connection(shared: &Shared, conn: Conn) {
         });
         read_request(&mut reader, MAX_BODY_BYTES)
     };
+    let request_id = request_id(shared, request.as_ref().ok());
+    let (method, path) = match &request {
+        Ok(request) => (request.method.clone(), request.path.clone()),
+        Err(_) => ("-".to_string(), "-".to_string()),
+    };
     let response = match request {
-        Ok(request) => route(shared, &request, accepted_at, queue_ms),
+        Ok(request) => route(shared, &request, accepted_at, queue_ms, &request_id),
         Err(HttpError { status, message }) => Response::text(status, format!("{message}\n")),
     };
+    let response = response.header("X-Request-Id", &request_id);
     if response.write_to(&mut stream).is_ok() {
         let _ = stream.flush();
     }
     lock_metrics(shared).count_response(response.status);
+    // The access log: one JSON object per request on stderr, keyed by the
+    // same id the client saw in `X-Request-Id`.
+    eprintln!(
+        "{{\"request_id\":\"{}\",\"method\":\"{}\",\"path\":\"{}\",\"status\":{},\
+         \"queue_ms\":{:.3},\"elapsed_ms\":{:.3}}}",
+        http::json_escape(&request_id),
+        http::json_escape(&method),
+        http::json_escape(&path),
+        response.status,
+        queue_ms,
+        1000.0 * accepted_at.elapsed().as_secs_f64(),
+    );
+}
+
+/// The correlation id for a request: an inbound `x-request-id` header when
+/// it is non-empty printable ASCII of sane length (it is echoed into a
+/// response header and the access log), else a server-assigned `serve-<n>`.
+fn request_id(shared: &Shared, request: Option<&Request>) -> String {
+    if let Some(id) = request.and_then(|request| request.header("x-request-id")) {
+        if !id.is_empty() && id.len() <= 128 && id.bytes().all(|b| b.is_ascii_graphic()) {
+            return id.to_string();
+        }
+    }
+    format!(
+        "serve-{}",
+        shared.next_request_id.fetch_add(1, Ordering::Relaxed)
+    )
 }
 
 /// Dispatches a parsed request to an endpoint.
-fn route(shared: &Shared, request: &Request, accepted_at: Instant, queue_ms: f64) -> Response {
+fn route(
+    shared: &Shared,
+    request: &Request,
+    accepted_at: Instant,
+    queue_ms: f64,
+    request_id: &str,
+) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/health") => Response::text(200, "ok\n"),
-        ("GET", "/metrics") => Response::json(200, metrics_json(shared)),
-        ("POST", "/transpile") => transpile_endpoint(shared, request, accepted_at, queue_ms),
+        ("GET", "/version") => Response::json(200, version_json()),
+        ("GET", "/trace") => trace_endpoint(shared),
+        ("GET", "/metrics") => {
+            // Content negotiation: Prometheus exposition text on
+            // `Accept: text/plain`, the JSON document otherwise. Both read
+            // the same counters and histogram buckets.
+            if request
+                .header("accept")
+                .is_some_and(|accept| accept.contains("text/plain"))
+            {
+                Response::text(200, metrics_prometheus(shared))
+            } else {
+                Response::json(200, metrics_json(shared))
+            }
+        }
+        ("POST", "/transpile") => {
+            transpile_endpoint(shared, request, accepted_at, queue_ms, request_id)
+        }
         ("GET" | "HEAD", "/transpile") => {
             Response::text(405, "use POST with an OpenQASM 2.0 body\n")
         }
         _ => Response::text(404, format!("no route for {}\n", request.path)),
+    }
+}
+
+/// The `/version` document: crate version plus compiled-in feature flags.
+fn version_json() -> String {
+    format!(
+        "{{\"name\":\"nassc-serve\",\"version\":\"{}\",\"features\":{{\"failpoints\":{}}}}}",
+        env!("CARGO_PKG_VERSION"),
+        cfg!(feature = "failpoints"),
+    )
+}
+
+/// `GET /trace` — the span table of the most recent `?trace=1` request.
+fn trace_endpoint(shared: &Shared) -> Response {
+    let last = shared
+        .last_trace
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone();
+    match last {
+        Some(json) => Response::json(200, json),
+        None => Response::text(
+            404,
+            "no traced request yet; POST /transpile?trace=1 first\n",
+        ),
     }
 }
 
@@ -426,7 +536,62 @@ fn deadline_ms(shared: &Shared, request: &Request) -> Result<u64, Response> {
 }
 
 /// `POST /transpile` — QASM in, transpiled QASM plus metric headers out.
+///
+/// With `?trace=1` the transpile runs under the process-wide trace recorder
+/// and the response becomes a JSON envelope `{"request_id", "status",
+/// "trace", "qasm"|"error"}` carrying the per-span table alongside the
+/// usual `X-*` headers. Traced requests serialize on one lock (the recorder
+/// is process-wide), and spans of untraced requests running concurrently on
+/// other workers may appear in the table — attribution is best-effort, the
+/// transpiled output is not affected.
 fn transpile_endpoint(
+    shared: &Shared,
+    request: &Request,
+    accepted_at: Instant,
+    queue_ms: f64,
+    request_id: &str,
+) -> Response {
+    let traced = matches!(request.query_param("trace"), Some("1" | "true"));
+    if !traced {
+        return transpile_core(shared, request, accepted_at, queue_ms);
+    }
+
+    let serial = shared
+        .trace_serial
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    nassc::trace::enable();
+    let response = transpile_core(shared, request, accepted_at, queue_ms);
+    let report = nassc::trace::take_report();
+    nassc::trace::disable();
+    drop(serial);
+
+    let spans = report.span_table_json();
+    let escaped_id = http::json_escape(request_id);
+    *shared
+        .last_trace
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner) = Some(format!(
+        "{{\"request_id\":\"{escaped_id}\",\"trace\":{spans}}}"
+    ));
+    let body_key = if response.status == 200 {
+        "qasm"
+    } else {
+        "error"
+    };
+    let envelope = format!(
+        "{{\"request_id\":\"{escaped_id}\",\"status\":{},\"trace\":{spans},\"{body_key}\":\"{}\"}}",
+        response.status,
+        http::json_escape(&response.body),
+    );
+    let mut wrapped = Response::json(response.status, envelope);
+    wrapped.headers = response.headers;
+    wrapped
+}
+
+/// The untraced `/transpile` pipeline: option parsing, admission checks,
+/// the session call, and the metric headers.
+fn transpile_core(
     shared: &Shared,
     request: &Request,
     accepted_at: Instant,
@@ -624,6 +789,8 @@ fn metrics_json(shared: &Shared) -> String {
     format!(
         concat!(
             "{{\"uptime_seconds\":{:.3},",
+            "\"started_at_epoch_seconds\":{},",
+            "\"trace_events_dropped\":{},",
             "\"queue\":{{\"depth\":{},\"capacity\":{},\"workers\":{}}},",
             "\"responses_by_status\":{{{}}},",
             "\"total_responses\":{},",
@@ -638,6 +805,8 @@ fn metrics_json(shared: &Shared) -> String {
             "\"devices\":[{}]}}"
         ),
         shared.started.elapsed().as_secs_f64(),
+        shared.started_at_epoch_seconds,
+        nassc::trace::events_dropped_total(),
         shared.queue.len(),
         shared.queue.capacity(),
         shared.workers,
@@ -655,4 +824,95 @@ fn metrics_json(shared: &Shared) -> String {
         pool.jobs_panicked,
         devices.join(","),
     )
+}
+
+/// One Prometheus histogram: cumulative `_bucket{le=...}` lines over the
+/// same raw buckets the JSON quantiles are computed from, plus sum/count.
+fn prometheus_histogram(out: &mut String, name: &str, histogram: &metrics::LatencyHistogram) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for (bound, count) in histogram.buckets() {
+        cumulative += count;
+        if bound.is_infinite() {
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        } else {
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+    }
+    let _ = writeln!(out, "{name}_sum {}", histogram.sum_ms());
+    let _ = writeln!(out, "{name}_count {}", histogram.count());
+}
+
+/// The `/metrics` document in Prometheus text exposition format — the same
+/// counters and histogram buckets as [`metrics_json`], renamed to the
+/// `nassc_serve_*` metric namespace.
+fn metrics_prometheus(shared: &Shared) -> String {
+    use std::fmt::Write as _;
+    let metrics = lock_metrics(shared).clone();
+    let pool = nassc::worker_pool_status();
+    let mut out = String::new();
+    let mut gauge = |name: &str, value: String| {
+        let _ = writeln!(out, "# TYPE nassc_serve_{name} gauge");
+        let _ = writeln!(out, "nassc_serve_{name} {value}");
+    };
+    gauge(
+        "uptime_seconds",
+        format!("{:.3}", shared.started.elapsed().as_secs_f64()),
+    );
+    gauge(
+        "started_at_epoch_seconds",
+        shared.started_at_epoch_seconds.to_string(),
+    );
+    gauge(
+        "trace_events_dropped",
+        nassc::trace::events_dropped_total().to_string(),
+    );
+    gauge("queue_depth", shared.queue.len().to_string());
+    gauge("queue_capacity", shared.queue.capacity().to_string());
+    gauge("handler_workers", shared.workers.to_string());
+    gauge("rejected_busy_total", metrics.rejected_busy.to_string());
+    gauge(
+        "deadline_expired_total",
+        metrics.deadline_expired.to_string(),
+    );
+    gauge(
+        "worker_restarts_total",
+        shared.worker_restarts.load(Ordering::Relaxed).to_string(),
+    );
+    gauge("pool_workers", pool.workers.to_string());
+    gauge("pool_batches_completed", pool.batches_completed.to_string());
+    gauge("pool_items_completed", pool.items_completed.to_string());
+    gauge("pool_jobs_panicked", pool.jobs_panicked.to_string());
+
+    let _ = writeln!(out, "# TYPE nassc_serve_responses_total counter");
+    for (status, count) in &metrics.responses_by_status {
+        let _ = writeln!(
+            out,
+            "nassc_serve_responses_total{{status=\"{status}\"}} {count}"
+        );
+    }
+    prometheus_histogram(
+        &mut out,
+        "nassc_serve_transpile_latency_ms",
+        &metrics.transpile_latency,
+    );
+    prometheus_histogram(&mut out, "nassc_serve_queue_wait_ms", &metrics.queue_wait);
+    let _ = writeln!(out, "# TYPE nassc_serve_device_cache_hits counter");
+    let _ = writeln!(out, "# TYPE nassc_serve_device_cache_misses counter");
+    for (name, session) in &shared.sessions {
+        let stats = session.cache_stats();
+        let label = http::json_escape(name);
+        let _ = writeln!(
+            out,
+            "nassc_serve_device_cache_hits{{device=\"{label}\"}} {}",
+            stats.hits()
+        );
+        let _ = writeln!(
+            out,
+            "nassc_serve_device_cache_misses{{device=\"{label}\"}} {}",
+            stats.misses()
+        );
+    }
+    out
 }

@@ -73,6 +73,29 @@ impl LatencyHistogram {
         self.max_ms
     }
 
+    /// The sum of every recorded sample, in milliseconds.
+    pub fn sum_ms(&self) -> f64 {
+        self.sum_ms
+    }
+
+    /// The raw buckets as `(upper bound ms, count)` pairs, the overflow
+    /// bucket last with an infinite bound. Both `/metrics` renderings (JSON
+    /// quantiles and the Prometheus text histogram) read from here, so they
+    /// cannot disagree on the underlying numbers.
+    pub fn buckets(&self) -> Vec<(f64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(bucket, &count)| {
+                let bound = BUCKET_BOUNDS_MS
+                    .get(bucket)
+                    .copied()
+                    .unwrap_or(f64::INFINITY);
+                (bound, count)
+            })
+            .collect()
+    }
+
     /// The upper bound of the bucket holding quantile `q` in `[0, 1]` —
     /// an upper estimate of the true quantile (the exact max for the
     /// overflow bucket). Returns 0 when empty.
@@ -172,6 +195,22 @@ mod tests {
         assert_eq!(h.count(), 2);
         assert_eq!(h.quantile_ms(1.0), 0.5);
         assert_eq!(h.max_ms(), 0.0);
+    }
+
+    #[test]
+    fn buckets_expose_the_same_counts_the_quantiles_use() {
+        let mut h = LatencyHistogram::new();
+        h.record(3.0);
+        h.record(3.0);
+        h.record(120_000.0); // overflow bucket
+        let buckets = h.buckets();
+        assert_eq!(buckets.len(), BUCKET_BOUNDS_MS.len() + 1);
+        assert_eq!(buckets.iter().map(|(_, c)| c).sum::<u64>(), h.count());
+        assert_eq!(buckets[3], (5.0, 2));
+        let (last_bound, last_count) = buckets[buckets.len() - 1];
+        assert!(last_bound.is_infinite());
+        assert_eq!(last_count, 1);
+        assert_eq!(h.sum_ms(), 120_006.0);
     }
 
     #[test]

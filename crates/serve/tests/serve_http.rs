@@ -254,6 +254,227 @@ fn metrics_report_counts_and_histograms() {
     stop();
 }
 
+/// Extracts and unescapes the first JSON string field named `key`.
+fn json_str_field(body: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":\"");
+    let start = body.find(&marker)? + marker.len();
+    let mut out = String::new();
+    let mut chars = body[start..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    out.push(char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// The value of an unlabeled Prometheus metric line `name <value>`.
+fn prom_value(text: &str, name: &str) -> Option<f64> {
+    text.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        rest.strip_prefix(' ')?.trim().parse().ok()
+    })
+}
+
+/// The first JSON number following `"key":`.
+fn json_number(body: &str, key: &str) -> Option<f64> {
+    let marker = format!("\"{key}\":");
+    let start = body.find(&marker)? + marker.len();
+    let digits: String = body[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    digits.parse().ok()
+}
+
+#[test]
+fn request_ids_are_assigned_and_inbound_ids_are_echoed() {
+    let (addr, stop) = boot(default_config());
+
+    let assigned = client::post(&addr, "/transpile", BELL).expect("assigned");
+    let id = assigned.header("x-request-id").expect("id header");
+    assert!(id.starts_with("serve-"), "assigned id: {id}");
+
+    let echoed = client::request_with_headers(
+        &addr,
+        "POST",
+        "/transpile",
+        &[("x-request-id", "corr-abc.123")],
+        BELL,
+    )
+    .expect("echoed");
+    assert_eq!(echoed.header("x-request-id").unwrap(), "corr-abc.123");
+
+    // An oversized inbound id is replaced by a server-assigned one.
+    let oversized = "x".repeat(200);
+    let replaced = client::request_with_headers(
+        &addr,
+        "POST",
+        "/transpile",
+        &[("x-request-id", &oversized)],
+        BELL,
+    )
+    .expect("replaced");
+    let id = replaced.header("x-request-id").expect("id header");
+    assert!(id.starts_with("serve-"), "sanitized id: {id}");
+
+    // Error responses carry ids too.
+    let missing = client::get(&addr, "/nope").expect("missing");
+    assert!(missing.header("x-request-id").is_some());
+    stop();
+}
+
+#[test]
+fn version_reports_crate_version_and_features() {
+    let (addr, stop) = boot(default_config());
+    let version = client::get(&addr, "/version").expect("version");
+    assert_eq!(version.status, 200);
+    assert!(version.body.contains("\"name\":\"nassc-serve\""));
+    assert_eq!(
+        json_str_field(&version.body, "version").as_deref(),
+        Some(env!("CARGO_PKG_VERSION"))
+    );
+    let expected = if cfg!(feature = "failpoints") {
+        "\"failpoints\":true"
+    } else {
+        "\"failpoints\":false"
+    };
+    assert!(version.body.contains(expected), "body: {}", version.body);
+    stop();
+}
+
+#[test]
+fn metrics_json_and_prometheus_render_the_same_numbers() {
+    let (addr, stop) = boot(default_config());
+    for _ in 0..3 {
+        let ok = client::post(&addr, "/transpile", BELL).expect("transpile");
+        assert_eq!(ok.status, 200);
+    }
+
+    let json = client::get(&addr, "/metrics").expect("json metrics");
+    assert_eq!(json.status, 200);
+    let prom =
+        client::request_with_headers(&addr, "GET", "/metrics", &[("accept", "text/plain")], "")
+            .expect("prometheus metrics");
+    assert_eq!(prom.status, 200);
+    assert!(
+        prom.body.starts_with("# TYPE nassc_serve_"),
+        "not text exposition: {}",
+        prom.body
+    );
+
+    // Compare metrics that the interleaved /metrics requests themselves do
+    // not move: the transpile latency histogram and static capacities.
+    let json_latency = json
+        .body
+        .split("\"transpile_latency_ms\":")
+        .nth(1)
+        .expect("latency in json");
+    assert_eq!(json_number(json_latency, "count"), Some(3.0));
+    assert_eq!(
+        prom_value(&prom.body, "nassc_serve_transpile_latency_ms_count"),
+        Some(3.0)
+    );
+    assert!(prom
+        .body
+        .contains("nassc_serve_transpile_latency_ms_bucket{le=\"+Inf\"} 3"));
+    assert_eq!(
+        json_number(&json.body, "capacity"),
+        prom_value(&prom.body, "nassc_serve_queue_capacity"),
+    );
+    assert_eq!(
+        json_number(&json.body, "started_at_epoch_seconds"),
+        prom_value(&prom.body, "nassc_serve_started_at_epoch_seconds"),
+    );
+    assert_eq!(
+        json_number(&json.body, "trace_events_dropped"),
+        prom_value(&prom.body, "nassc_serve_trace_events_dropped"),
+    );
+    assert_eq!(json_number(&json.body, "trace_events_dropped"), Some(0.0));
+    assert_eq!(
+        json_number(&json.body, "worker_restarts"),
+        prom_value(&prom.body, "nassc_serve_worker_restarts_total"),
+    );
+    // Cumulative montreal cache hits/misses agree across renderings.
+    let montreal_json = json
+        .body
+        .split("\"name\":\"montreal\"")
+        .nth(1)
+        .expect("montreal in json");
+    assert_eq!(
+        json_number(montreal_json, "cache_hits"),
+        prom_value(
+            &prom.body,
+            "nassc_serve_device_cache_hits{device=\"montreal\"}"
+        ),
+    );
+    assert_eq!(
+        json_number(montreal_json, "cache_misses"),
+        prom_value(
+            &prom.body,
+            "nassc_serve_device_cache_misses{device=\"montreal\"}"
+        ),
+    );
+    stop();
+}
+
+#[test]
+fn traced_requests_return_span_tables_that_round_trip() {
+    let (addr, stop) = boot(default_config());
+
+    // Nothing traced yet.
+    let empty = client::get(&addr, "/trace").expect("trace");
+    assert_eq!(empty.status, 404);
+
+    let untraced = client::post(&addr, "/transpile?seed=11", GHZ5).expect("untraced");
+    assert_eq!(untraced.status, 200);
+
+    let traced = client::request_with_headers(
+        &addr,
+        "POST",
+        "/transpile?seed=11&trace=1",
+        &[("x-request-id", "traced-1")],
+        GHZ5,
+    )
+    .expect("traced");
+    assert_eq!(traced.status, 200, "body: {}", traced.body);
+    assert_eq!(traced.header("x-request-id").unwrap(), "traced-1");
+    assert!(traced.body.contains("\"request_id\":\"traced-1\""));
+    assert!(traced.body.contains("\"spans\":["), "body: {}", traced.body);
+    assert!(
+        traced.body.contains("\"name\":\"job\""),
+        "span table must include the session job span: {}",
+        traced.body
+    );
+    // The traced transpile returns the exact bytes of the untraced one —
+    // tracing is observational only.
+    assert_eq!(
+        json_str_field(&traced.body, "qasm").as_deref(),
+        Some(untraced.body.as_str()),
+        "traced vs untraced qasm mismatch"
+    );
+    // The metric headers survive the envelope.
+    assert!(traced.header("x-cx-count").is_some());
+
+    // /trace replays the last traced request's table.
+    let replay = client::get(&addr, "/trace").expect("trace replay");
+    assert_eq!(replay.status, 200);
+    assert!(replay.body.contains("\"request_id\":\"traced-1\""));
+    assert!(replay.body.contains("\"spans\":["));
+    stop();
+}
+
 #[test]
 fn graceful_shutdown_drains_and_stops_listening() {
     let (addr, stop) = boot(default_config());
